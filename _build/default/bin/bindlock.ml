@@ -1,0 +1,363 @@
+(* bindlock — command-line front end to the resource-binding
+   obfuscation library.
+
+     bindlock list                    benchmarks and their shapes
+     bindlock show -b dct             schedule + workload statistics
+     bindlock bind -b dct ...         bind/lock one benchmark, report errors
+     bindlock attack ...              run the SAT attack on a locked adder
+     bindlock dot -b dct              Graphviz dump of the DFG *)
+
+module Dfg = Rb_dfg.Dfg
+module Schedule = Rb_sched.Schedule
+module Benchmark = Rb_workload.Benchmark
+module Kmatrix = Rb_sim.Kmatrix
+module Exec = Rb_sim.Exec
+module Allocation = Rb_hls.Allocation
+module Binding = Rb_hls.Binding
+module Profile = Rb_hls.Profile
+module Config = Rb_locking.Config
+module Scheme = Rb_locking.Scheme
+module Cost = Rb_core.Cost
+module Table = Rb_util.Table
+open Cmdliner
+
+let benchmark_arg =
+  let doc = "Benchmark name (one of: " ^ String.concat ", " (Benchmark.names ()) ^ ")." in
+  Arg.(required & opt (some string) None & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1789 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let lookup name =
+  match Benchmark.find name with
+  | b -> Ok b
+  | exception Not_found -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name))
+
+(* ---------------------------------------------------------------- list *)
+
+let list_cmd =
+  let run () =
+    let table =
+      Table.create ~title:"MediaBench-derived benchmarks (Sec. VI)"
+        ~columns:[ "source"; "adds"; "muls"; "cycles" ]
+    in
+    List.iter
+      (fun b ->
+        let schedule = Benchmark.schedule b in
+        Table.add_text_row table ~label:b.Benchmark.name
+          ~cells:
+            [
+              b.Benchmark.source;
+              string_of_int (List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Add));
+              string_of_int (List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Mul));
+              string_of_int (Schedule.n_cycles schedule);
+            ])
+      (Benchmark.all ());
+    Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
+
+(* ---------------------------------------------------------------- show *)
+
+let show_cmd =
+  let run name seed =
+    Result.map
+      (fun b ->
+        let schedule = Benchmark.schedule b in
+        let trace = Benchmark.trace ~seed b in
+        let k = Kmatrix.build trace in
+        Format.printf "%a@.%a@.source: %s@." Dfg.pp b.Benchmark.dfg Schedule.pp schedule
+          b.Benchmark.source;
+        Format.printf "workload: top-10 minterms carry %.0f%% of occurrences@.@."
+          (100.0 *. Kmatrix.head_mass k ~n:10);
+        List.iter
+          (fun kind ->
+            Format.printf "top %s minterms:@." (Dfg.kind_label kind);
+            List.iter
+              (fun m ->
+                Format.printf "  %a x%d@." Rb_dfg.Minterm.pp m
+                  (Kmatrix.total_occurrences k m))
+              (Kmatrix.top_minterms ~kind k ~n:5))
+          [ Dfg.Add; Dfg.Mul ])
+      (lookup name)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Schedule and workload statistics of one benchmark.")
+    Term.(term_result (const run $ benchmark_arg $ seed_arg))
+
+(* ---------------------------------------------------------------- bind *)
+
+let binder_arg =
+  let algo = Arg.enum [ ("area", `Area); ("power", `Power); ("obf", `Obf); ("codesign", `Codesign) ] in
+  Arg.(value & opt algo `Codesign & info [ "binder" ] ~docv:"ALGO"
+         ~doc:"Binding algorithm: area, power, obf, or codesign.")
+
+let kind_arg =
+  let op_kind = Arg.enum [ ("add", Dfg.Add); ("mul", Dfg.Mul) ] in
+  Arg.(value & opt op_kind Dfg.Mul & info [ "kind" ] ~docv:"KIND"
+         ~doc:"Operation kind whose FUs are locked (add or mul).")
+
+let locked_fus_arg =
+  Arg.(value & opt int 2 & info [ "locked-fus" ] ~docv:"N" ~doc:"Number of locked FUs.")
+
+let minterms_arg =
+  Arg.(value & opt int 2 & info [ "minterms" ] ~docv:"M" ~doc:"Locked inputs per FU.")
+
+let bind_cmd =
+  let run name seed binder kind locked_fu_count minterms_per_fu =
+    Result.bind (lookup name) (fun b ->
+        let schedule = Benchmark.schedule b in
+        let trace = Benchmark.trace ~seed b in
+        let allocation = Allocation.for_schedule schedule in
+        let k = Kmatrix.build trace in
+        let profile = Profile.build trace in
+        let fus = Allocation.fu_ids allocation kind in
+        if List.length fus < locked_fu_count then
+          Error (`Msg (Printf.sprintf "only %d %s FUs allocated" (List.length fus)
+                         (Dfg.kind_label kind)))
+        else begin
+          let candidates = Array.of_list (Kmatrix.top_minterms ~kind k ~n:10) in
+          if Array.length candidates < minterms_per_fu then
+            Error (`Msg "workload too uniform: not enough candidate minterms")
+          else begin
+            let locked_fus = List.filteri (fun i _ -> i < locked_fu_count) fus in
+            let spec =
+              { Rb_core.Codesign.scheme = Scheme.Sfll_rem; locked_fus; minterms_per_fu;
+                candidates }
+            in
+            let codesigned = Rb_core.Codesign.heuristic k schedule allocation spec in
+            let config = codesigned.Rb_core.Codesign.config in
+            let binding =
+              match binder with
+              | `Area -> Rb_hls.Area_binding.bind schedule allocation
+              | `Power -> Rb_hls.Power_binding.bind schedule allocation ~profile
+              | `Obf -> Rb_core.Obf_binding.bind k config schedule allocation
+              | `Codesign -> codesigned.Rb_core.Codesign.binding
+            in
+            let report =
+              Exec.application_errors schedule trace ~fu_of_op:(Binding.fu_array binding)
+                ~config
+            in
+            Format.printf "locking: %a@." Config.pp config;
+            Format.printf "predicted SAT iterations per FU (Eqn. 1): %.0f@."
+              (Config.lambda_per_fu config);
+            Format.printf "expected application errors (Eqn. 2): %d@."
+              (Cost.expected_errors k binding config);
+            Format.printf "measured wrong-key error events: %d over %d samples@."
+              report.Exec.error_events report.Exec.samples;
+            Format.printf "corrupted samples: %d, longest error burst: %d cycles@."
+              report.Exec.corrupted_samples report.Exec.max_consecutive_cycles;
+            Format.printf "registers: %d, switching rate: %.3f@."
+              (Rb_hls.Registers.count binding)
+              (Rb_hls.Switching.rate binding profile);
+            Ok ()
+          end
+        end)
+  in
+  Cmd.v
+    (Cmd.info "bind" ~doc:"Bind and lock one benchmark; report error and overhead.")
+    Term.(term_result
+            (const run $ benchmark_arg $ seed_arg $ binder_arg $ kind_arg $ locked_fus_arg
+             $ minterms_arg))
+
+(* -------------------------------------------------------------- attack *)
+
+let attack_cmd =
+  let scheme_kind = Arg.enum [ ("rll", `Rll); ("pf", `Pf); ("permnet", `Permnet) ] in
+  let scheme_arg =
+    Arg.(value & opt scheme_kind `Pf & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Locking scheme: rll, pf (point function), or permnet.")
+  in
+  let width_arg =
+    Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Adder operand width in bits.")
+  in
+  let strength_arg =
+    Arg.(value & opt int 2 & info [ "strength" ] ~docv:"S"
+           ~doc:"Key gates (rll), protected minterms (pf), or layers (permnet).")
+  in
+  let run scheme width strength seed =
+    if width < 2 || width > 8 then Error (`Msg "width must be in 2..8")
+    else begin
+      let base = Rb_netlist.Circuits.adder ~width in
+      let rng = Rb_util.Rng.create seed in
+      let locked =
+        match scheme with
+        | `Rll -> Rb_netlist.Lock.xor_random ~rng ~key_bits:strength base
+        | `Pf ->
+          let space = 1 lsl (2 * width) in
+          let minterms = List.init strength (fun _ -> Rb_util.Rng.int rng space) in
+          Rb_netlist.Lock.point_function ~minterms base
+        | `Permnet -> Rb_netlist.Lock.permutation_network ~rng ~layers:strength base
+      in
+      Format.printf "locked circuit: %s, %a@." locked.Rb_netlist.Lock.description
+        Rb_netlist.Netlist.pp_stats locked.Rb_netlist.Lock.circuit;
+      let t0 = Sys.time () in
+      (match Rb_sat.Attack.attack_locked ~max_iterations:20_000 locked with
+       | Rb_sat.Attack.Broken { key; iterations } ->
+         Format.printf "broken in %d DIP iterations (%.2fs); recovered key %s@." iterations
+           (Sys.time () -. t0)
+           (if Rb_sat.Attack.key_is_correct locked key then "is functionally correct"
+            else "FAILS verification")
+       | Rb_sat.Attack.Budget_exceeded { iterations } ->
+         Format.printf "survived %d iterations (%.2fs)@." iterations (Sys.time () -. t0));
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run the oracle-guided SAT attack on a locked adder.")
+    Term.(term_result (const run $ scheme_arg $ width_arg $ strength_arg $ seed_arg))
+
+(* -------------------------------------------------------------- custom *)
+
+let custom_cmd =
+  let file_arg =
+    Arg.(required & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE"
+           ~doc:"Kernel in the DFG text format, or behavioural expression code \
+                 when the file ends in .expr (see lib/dfg/expr.mli).")
+  in
+  let trace_len_arg =
+    Arg.(value & opt int 256 & info [ "trace-length" ] ~docv:"N"
+           ~doc:"Synthesized workload length (heavy-tailed generator).")
+  in
+  let run file kind locked_fu_count minterms_per_fu trace_length seed =
+    let contents =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let parsed =
+      if Filename.check_suffix file ".expr" then Rb_dfg.Expr.compile contents
+      else Rb_dfg.Dfg_text.of_string contents
+    in
+    Result.bind (Result.map_error (fun e -> `Msg e) parsed) (fun dfg ->
+        let schedule = Rb_sched.Scheduler.path_based dfg in
+        let allocation = Allocation.for_schedule schedule in
+        (* heavy-tailed synthetic workload for the user kernel *)
+        let rng = Rb_util.Rng.create seed in
+        let palette = [| 0; 3; 16; 64; 128; 255 |] in
+        let trace =
+          Rb_sim.Trace.generate dfg ~n:trace_length ~f:(fun _ _ ->
+              if Rb_util.Rng.int rng 10 < 8 then Rb_util.Rng.pick rng palette
+              else Rb_util.Rng.int rng 256)
+        in
+        let k = Kmatrix.build trace in
+        let fus = Allocation.fu_ids allocation kind in
+        let candidates = Array.of_list (Kmatrix.top_minterms ~kind k ~n:10) in
+        if List.length fus < locked_fu_count then
+          Error (`Msg (Printf.sprintf "only %d %s FUs allocated" (List.length fus)
+                         (Dfg.kind_label kind)))
+        else if Array.length candidates < minterms_per_fu then
+          Error (`Msg "not enough candidate minterms in the synthesized workload")
+        else begin
+          let spec =
+            { Rb_core.Codesign.scheme = Scheme.Sfll_rem;
+              locked_fus = List.filteri (fun i _ -> i < locked_fu_count) fus;
+              minterms_per_fu; candidates }
+          in
+          let solution = Rb_core.Codesign.heuristic k schedule allocation spec in
+          Format.printf "%a@.%a, allocated %a@." Dfg.pp dfg Schedule.pp schedule
+            Allocation.pp allocation;
+          Format.printf "co-designed locking: %a@." Config.pp
+            solution.Rb_core.Codesign.config;
+          Format.printf "expected application errors (Eqn. 2): %d over %d samples@."
+            solution.Rb_core.Codesign.errors trace_length;
+          let baseline = Rb_hls.Area_binding.bind schedule allocation in
+          Format.printf "same lock under area-aware binding:   %d@."
+            (Cost.expected_errors k baseline solution.Rb_core.Codesign.config);
+          Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "custom" ~doc:"Co-design binding/locking for a user kernel in DFG text format.")
+    Term.(term_result
+            (const run $ file_arg $ kind_arg $ locked_fus_arg $ minterms_arg
+             $ trace_len_arg $ seed_arg))
+
+(* ---------------------------------------------------------- export-dfg *)
+
+let export_dfg_cmd =
+  let run name =
+    Result.map
+      (fun b -> print_string (Rb_dfg.Dfg_text.to_string b.Benchmark.dfg))
+      (lookup name)
+  in
+  Cmd.v
+    (Cmd.info "export-dfg"
+       ~doc:"Print a benchmark in the DFG text format (a template for 'custom').")
+    Term.(term_result (const run $ benchmark_arg))
+
+(* ---------------------------------------------------------- export-cnf *)
+
+let export_cnf_cmd =
+  let scheme_kind = Arg.enum [ ("rll", `Rll); ("pf", `Pf); ("permnet", `Permnet) ] in
+  let scheme_arg =
+    Arg.(value & opt scheme_kind `Pf & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Locking scheme: rll, pf (point function), or permnet.")
+  in
+  let width_arg =
+    Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Adder operand width in bits.")
+  in
+  let strength_arg =
+    Arg.(value & opt int 2 & info [ "strength" ] ~docv:"S"
+           ~doc:"Key gates (rll), protected minterms (pf), or layers (permnet).")
+  in
+  let miter_arg =
+    Arg.(value & flag & info [ "miter" ]
+           ~doc:"Emit the two-copy SAT-attack miter instead of a single copy.")
+  in
+  let run scheme width strength miter seed =
+    if width < 2 || width > 10 then Error (`Msg "width must be in 2..10")
+    else begin
+      let base = Rb_netlist.Circuits.adder ~width in
+      let rng = Rb_util.Rng.create seed in
+      let locked =
+        match scheme with
+        | `Rll -> Rb_netlist.Lock.xor_random ~rng ~key_bits:strength base
+        | `Pf ->
+          let space = 1 lsl (2 * width) in
+          let minterms = List.init strength (fun _ -> Rb_util.Rng.int rng space) in
+          Rb_netlist.Lock.point_function ~minterms base
+        | `Permnet -> Rb_netlist.Lock.permutation_network ~rng ~layers:strength base
+      in
+      let d =
+        if miter then Rb_sat.Dimacs.miter locked.Rb_netlist.Lock.circuit
+        else Rb_sat.Dimacs.of_netlist locked.Rb_netlist.Lock.circuit
+      in
+      print_string
+        (Rb_sat.Dimacs.to_string
+           ~comments:
+             [
+               Printf.sprintf "%s on a %d-bit adder%s" locked.Rb_netlist.Lock.description
+                 width
+                 (if miter then " (SAT-attack miter)" else "");
+             ]
+           d);
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "export-cnf" ~doc:"Emit a locked adder (or its attack miter) as DIMACS CNF.")
+    Term.(term_result (const run $ scheme_arg $ width_arg $ strength_arg $ miter_arg $ seed_arg))
+
+(* ----------------------------------------------------------------- dot *)
+
+let dot_cmd =
+  let run name =
+    Result.map (fun b -> print_string (Dfg.to_dot b.Benchmark.dfg)) (lookup name)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the benchmark's DFG in Graphviz format.")
+    Term.(term_result (const run $ benchmark_arg))
+
+let () =
+  let info =
+    Cmd.info "bindlock" ~version:"1.0.0"
+      ~doc:"Security-aware resource binding for logic obfuscation (DAC'21 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; bind_cmd; custom_cmd; attack_cmd; export_cnf_cmd;
+            export_dfg_cmd; dot_cmd ]))

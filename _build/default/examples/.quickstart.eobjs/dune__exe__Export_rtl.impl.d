@@ -1,0 +1,1 @@
+examples/export_rtl.ml: Array Format List Printf Rb_core Rb_dfg Rb_hls Rb_locking Rb_rtl Rb_sim Rb_workload String Sys

@@ -1,0 +1,1 @@
+examples/methodology.ml: Array Format List Printf Rb_core Rb_dfg Rb_hls Rb_locking Rb_netlist Rb_sim Rb_util Rb_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Rb_core Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim

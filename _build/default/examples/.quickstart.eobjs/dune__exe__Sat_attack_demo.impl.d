@@ -1,0 +1,1 @@
+examples/sat_attack_demo.ml: Array List Printf Rb_locking Rb_netlist Rb_sat Rb_util Sys

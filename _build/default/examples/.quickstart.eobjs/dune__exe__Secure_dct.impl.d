@@ -1,0 +1,1 @@
+examples/secure_dct.ml: Array Format List Printf Rb_core Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim Rb_util Rb_workload

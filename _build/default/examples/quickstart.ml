@@ -1,0 +1,94 @@
+(* Quickstart: the paper's motivational example (Figs. 1 and 2), end to
+   end, on the public API.
+
+   A 5-operation scheduled DFG runs on 3 adder FUs. FU0 locks input
+   minterm 'x', FU1 locks 'y'. We bind it three ways — naively,
+   obfuscation-aware (Sec. IV), and with binding-obfuscation co-design
+   (Sec. V) — and watch the expected application errors (Eqn. 2) grow.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+module B = Dfg.Builder
+module Schedule = Rb_sched.Schedule
+module Kmatrix = Rb_sim.Kmatrix
+module Allocation = Rb_hls.Allocation
+module Binding = Rb_hls.Binding
+module Config = Rb_locking.Config
+module Scheme = Rb_locking.Scheme
+module Cost = Rb_core.Cost
+module Obf_binding = Rb_core.Obf_binding
+module Codesign = Rb_core.Codesign
+
+let () =
+  (* 1. A scheduled DFG: OPA..OPE over two clock cycles (Fig. 2A). *)
+  let b = B.create "fig2" in
+  let a = B.input b "a" and b_in = B.input b "b" in
+  let c = B.input b "c" and d = B.input b "d" and g = B.input b "g" in
+  let opa = B.add ~label:"OPA" b a b_in in
+  let opb = B.add ~label:"OPB" b c d in
+  let opc = B.add ~label:"OPC" b opa opb in
+  let opd = B.add ~label:"OPD" b opa g in
+  let ope = B.add ~label:"OPE" b opb g in
+  List.iter (B.output b) [ opc; opd; ope ];
+  let dfg = B.finish b in
+  let schedule = Schedule.make dfg ~cycle_of:[| 0; 0; 1; 1; 1 |] in
+  let allocation = { Allocation.adders = 3; multipliers = 0 } in
+  Format.printf "DFG: %a@." Dfg.pp dfg;
+  Format.printf "Schedule: %a@.@." Schedule.pp schedule;
+
+  (* 2. The K matrix (Sec. IV-A): expected occurrences of each input
+     minterm per operation during the typical workload. Normally this
+     comes from trace simulation (Kmatrix.build); here we type in the
+     paper's numbers. *)
+  let x = Minterm.pack 1 1 and y = Minterm.pack 2 2 in
+  let k =
+    Kmatrix.of_counts dfg
+      [
+        (0, [ (x, 6); (y, 9) ]);
+        (1, [ (x, 4); (y, 3) ]);
+        (2, [ (x, 3); (y, 7) ]);
+        (3, [ (x, 0); (y, 0) ]);
+        (4, [ (x, 10); (y, 8) ]);
+      ]
+  in
+
+  (* 3. A SAT-resilient locking configuration (Fig. 2B): FU0 locks x,
+     FU1 locks y, FU2 unlocked. *)
+  let config =
+    Config.make ~scheme:Scheme.Sfll_rem ~locks:[ (0, [ x ]); (1, [ y ]) ]
+  in
+  Format.printf "Locking: %a@." Config.pp config;
+  Format.printf "Predicted SAT iterations per locked FU (Eqn. 1): %.0f@.@."
+    (Config.lambda_per_fu config);
+
+  (* 4. A security-oblivious binding injects few errors. *)
+  let naive = Binding.make schedule allocation ~fu_of_op:[| 0; 1; 0; 1; 2 |] in
+  Format.printf "Naive binding errors (Eqn. 2):              E = %d@."
+    (Cost.expected_errors k naive config);
+
+  (* 5. Obfuscation-aware binding (Sec. IV-B) maximizes Eqn. 2 by one
+     max-weight bipartite matching per cycle. *)
+  let obf = Obf_binding.bind k config schedule allocation in
+  Format.printf "Obfuscation-aware binding errors (Thm. 2):  E = %d@."
+    (Cost.expected_errors k obf config);
+  List.iter
+    (fun op ->
+      Format.printf "  %s -> FU%d@." (Dfg.op dfg op).Dfg.label (Binding.fu_of_op obf op))
+    [ 0; 1; 2; 3; 4 ];
+
+  (* 6. Co-design (Sec. V) also picks WHICH minterms to lock, from a
+     candidate list. *)
+  let spec =
+    {
+      Codesign.scheme = Scheme.Sfll_rem;
+      locked_fus = [ 0; 1 ];
+      minterms_per_fu = 1;
+      candidates = [| x; y |];
+    }
+  in
+  let solution = Codesign.heuristic k schedule allocation spec in
+  Format.printf "@.Co-design picks: %a@." Config.pp solution.Codesign.config;
+  Format.printf "Co-designed binding errors:                 E = %d@."
+    solution.Codesign.errors

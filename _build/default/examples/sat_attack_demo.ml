@@ -1,0 +1,92 @@
+(* The SAT attack, live, against three locking schemes.
+
+   This is the threat model behind the whole paper: the attacker holds
+   the locked netlist plus an activated chip, and prunes the key space
+   with distinguishing input patterns (Subramanyan et al. [10]). We
+   lock the same ripple-carry adders three ways and measure what the
+   attack costs, next to the Eqn. 1 prediction:
+
+   - random XOR key gates (RLL): corrupts half the input space, falls
+     in a handful of iterations;
+   - SFLL-style point-function locking: corrupts a couple of minterms,
+     survives orders of magnitude longer (per key bit);
+   - a Full-Lock-style keyed permutation network: iteration counts stay
+     moderate but gate overhead explodes — why Sec. V-C uses it only as
+     a top-up.
+
+   Run with: dune exec examples/sat_attack_demo.exe *)
+
+module Netlist = Rb_netlist.Netlist
+module Circuits = Rb_netlist.Circuits
+module Lock = Rb_netlist.Lock
+module Attack = Rb_sat.Attack
+module Resilience = Rb_locking.Resilience
+module Rng = Rb_util.Rng
+module Table = Rb_util.Table
+
+let attack_row table base (locked : Lock.locked) =
+  let t0 = Sys.time () in
+  let outcome = Attack.attack_locked ~max_iterations:5_000 locked in
+  let dt = Sys.time () -. t0 in
+  let iterations, status =
+    match outcome with
+    | Attack.Broken { key; iterations } ->
+      let ok = Attack.key_is_correct locked key in
+      (iterations, if ok then "broken (key verified)" else "broken (WRONG KEY?)")
+    | Attack.Budget_exceeded { iterations } -> (iterations, "survived budget")
+  in
+  (* a representative wrong key: flip every other correct-key bit *)
+  let wrong = Array.mapi (fun i b -> if i mod 2 = 0 then not b else b) locked.Lock.correct_key in
+  Table.add_text_row table ~label:locked.Lock.description
+    ~cells:
+      [
+        string_of_int (Netlist.n_keys locked.Lock.circuit);
+        Printf.sprintf "%.1f%%" (100.0 *. Lock.error_rate locked ~key:wrong);
+        string_of_int iterations;
+        Printf.sprintf "%.2fs" dt;
+        Printf.sprintf "+%.0f%%" (100.0 *. Lock.gate_overhead locked ~baseline:base);
+        status;
+      ]
+
+let () =
+  print_endline "SAT attack vs. locking schemes on a 4-bit adder (8 primary inputs)";
+  print_newline ();
+  let base = Circuits.adder ~width:4 in
+  let rng = Rng.create 2026 in
+  let table =
+    Table.create ~title:"oracle-guided SAT attack [10]"
+      ~columns:[ "key bits"; "wrong-key error rate"; "DIP iterations"; "time"; "gates"; "outcome" ]
+  in
+  attack_row table base (Lock.xor_random ~rng ~key_bits:12 base);
+  attack_row table base (Lock.point_function ~minterms:[ 0x5A ] base);
+  attack_row table base (Lock.point_function ~minterms:[ 0x5A; 0x33; 0xC1 ] base);
+  attack_row table base (Lock.permutation_network ~rng ~layers:6 base);
+  Table.print table;
+  print_newline ();
+
+  (* Eqn. 1's prediction of the corruption/resilience trade-off, on the
+     word-level units the binding algorithms lock. *)
+  let table =
+    Table.create
+      ~title:"Eqn. 1: expected SAT iterations vs locked minterms (16-bit input space)"
+      ~columns:[ "1 minterm"; "2"; "3"; "8"; "64"; "1024" ]
+  in
+  List.iter
+    (fun key_bits ->
+      let cells =
+        List.map
+          (fun minterms ->
+            let lambda =
+              Resilience.lambda_minterms ~key_bits ~correct_keys:1 ~input_bits:16 ~minterms
+            in
+            if lambda = infinity then "inf" else Printf.sprintf "%.0f" lambda)
+          [ 1; 2; 3; 8; 64; 1024 ]
+      in
+      Table.add_text_row table ~label:(Printf.sprintf "%d-bit key" key_bits) ~cells)
+    [ 17; 20; 24; 32 ];
+  Table.print table;
+  print_newline ();
+  print_endline
+    "More locked minterms -> more corruption but fewer expected SAT iterations.\n\
+     The paper's binding algorithms escape the dilemma by making each of the\n\
+     few SAT-resilient minterms count at the application level."

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Codesign Cost Experiments List Obf_binding Option Printf Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim Rb_util

@@ -1,0 +1,1 @@
+lib/core/ablation.mli: Experiments Rb_dfg Rb_sched Rb_sim

@@ -1,0 +1,1 @@
+lib/core/codesign.ml: Array Cost Fun Int List Obf_binding Rb_dfg Rb_hls Rb_locking Rb_util

@@ -1,0 +1,1 @@
+lib/core/codesign.mli: Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Rb_dfg Rb_hls Rb_locking Rb_sim

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Codesign Cost Fun Hashtbl Int List Obf_binding Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim Rb_util

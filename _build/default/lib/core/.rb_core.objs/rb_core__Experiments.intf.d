@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Rb_dfg Rb_hls Rb_sched Rb_sim

@@ -1,0 +1,1 @@
+lib/core/methodology.ml: Array Codesign List Option Rb_dfg Rb_locking

@@ -1,0 +1,1 @@
+lib/core/methodology.mli: Codesign Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim

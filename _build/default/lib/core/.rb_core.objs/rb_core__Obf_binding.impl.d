@@ -1,0 +1,1 @@
+lib/core/obf_binding.ml: Array Cost Hashtbl List Rb_dfg Rb_hls Rb_matching Rb_sched

@@ -1,0 +1,106 @@
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+module Combi = Rb_util.Combi
+module Allocation = Rb_hls.Allocation
+module Config = Rb_locking.Config
+
+type spec = {
+  scheme : Rb_locking.Scheme.t;
+  locked_fus : int list;
+  minterms_per_fu : int;
+  candidates : Minterm.t array;
+}
+
+type solution = {
+  config : Config.t;
+  binding : Rb_hls.Binding.t;
+  errors : int;
+  assignments_searched : int;
+}
+
+let validate_spec allocation spec =
+  (match spec.locked_fus with
+   | [] -> invalid_arg "Codesign: no locked FUs"
+   | fu :: rest ->
+     let kind = Allocation.kind_of_fu allocation fu in
+     List.iter
+       (fun fu' ->
+         if Allocation.kind_of_fu allocation fu' <> kind then
+           invalid_arg "Codesign: locked FUs of mixed kinds")
+       rest);
+  if List.length (List.sort_uniq Int.compare spec.locked_fus) <> List.length spec.locked_fus
+  then invalid_arg "Codesign: duplicate locked FU";
+  if spec.minterms_per_fu < 1 then invalid_arg "Codesign: minterms_per_fu";
+  if spec.minterms_per_fu > Array.length spec.candidates then
+    invalid_arg "Codesign: budget exceeds candidate list";
+  Allocation.kind_of_fu allocation (List.hd spec.locked_fus)
+
+let search_space spec =
+  let per_fu = Combi.choose (Array.length spec.candidates) spec.minterms_per_fu in
+  Combi.product_size (List.map (fun _ -> per_fu) spec.locked_fus)
+
+(* All size-m subsets of candidate indices, as arrays. *)
+let index_subsets spec =
+  let indices = Array.init (Array.length spec.candidates) Fun.id in
+  Array.of_list (Combi.k_subsets indices spec.minterms_per_fu)
+
+let finalize k schedule allocation spec table locks searched =
+  let config =
+    Config.make ~scheme:spec.scheme
+      ~locks:(List.map (fun (fu, subset) -> (fu, Cost.subset_minterms table subset)) locks)
+  in
+  let binding = Obf_binding.bind k config schedule allocation in
+  let errors = Cost.expected_errors k binding config in
+  { config; binding; errors; assignments_searched = searched }
+
+let optimal ?(max_assignments = 500_000) k schedule allocation spec =
+  let kind = validate_spec allocation spec in
+  let space = search_space spec in
+  if space > max_assignments then `Too_large space
+  else begin
+    let table = Cost.cand_table k spec.candidates in
+    let fast = Obf_binding.Fast.prepare table schedule allocation ~kind in
+    let subsets = index_subsets spec in
+    let fus = Array.of_list spec.locked_fus in
+    let choices = Array.map (fun _ -> subsets) fus in
+    let best = ref None in
+    let searched = ref 0 in
+    let consider _acc tuple =
+      incr searched;
+      let locks = Array.to_list (Array.mapi (fun i subset -> (fus.(i), subset)) tuple) in
+      let errors = Obf_binding.Fast.best_errors fast ~locks in
+      (match !best with
+       | Some (best_errors, _) when best_errors >= errors -> ()
+       | Some _ | None ->
+         (* Copy: the tuple array is reused by the enumerator. *)
+         best := Some (errors, List.map (fun (fu, s) -> (fu, Array.copy s)) locks));
+      ()
+    in
+    Combi.fold_cartesian choices ~init:() ~f:consider;
+    match !best with
+    | None -> assert false
+    | Some (_, locks) -> `Solution (finalize k schedule allocation spec table locks !searched)
+  end
+
+let heuristic k schedule allocation spec =
+  let kind = validate_spec allocation spec in
+  let table = Cost.cand_table k spec.candidates in
+  let fast = Obf_binding.Fast.prepare table schedule allocation ~kind in
+  let subsets = index_subsets spec in
+  let searched = ref 0 in
+  let fix_next fixed fu =
+    let best = ref None in
+    Array.iter
+      (fun subset ->
+        incr searched;
+        let errors = Obf_binding.Fast.best_errors fast ~locks:((fu, subset) :: fixed) in
+        match !best with
+        | Some (best_errors, _) when best_errors >= errors -> ()
+        | Some _ | None -> best := Some (errors, subset))
+      subsets;
+    match !best with
+    | None -> assert false
+    | Some (_, subset) -> (fu, subset) :: fixed
+  in
+  let locks = List.fold_left fix_next [] spec.locked_fus in
+  finalize k schedule allocation spec table (List.rev locks) !searched

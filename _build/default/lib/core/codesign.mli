@@ -1,0 +1,58 @@
+(** Binding-obfuscation co-design — paper Sec. V.
+
+    The locked minterms are no longer given: only the locked FU set,
+    the per-FU locked-input budget [|M_l|], and a designer-supplied
+    candidate list [C] are fixed. Both algorithms search assignments
+    of size-[|M_l|] candidate subsets to locked FUs, scoring each with
+    optimal obfuscation-aware binding (Sec. IV), so every score is the
+    true maximum of Eqn. 2 for that assignment:
+
+    - {!optimal} enumerates all [C(|C|, |M|)^|L|] assignments —
+      exponential, exact (Sec. V-B.3).
+    - {!heuristic} fixes one FU at a time, choosing the subset whose
+      obfuscation-aware binding yields the most errors with all
+      previously-fixed FUs still locked — P-time,
+      O(s |L| |Nm| |R| log |R|) for bounded [|C|] (Sec. V-A). *)
+
+module Minterm = Rb_dfg.Minterm
+
+type spec = {
+  scheme : Rb_locking.Scheme.t;  (** must be a critical-minterm scheme *)
+  locked_fus : int list;  (** FU ids to lock; all of one kind *)
+  minterms_per_fu : int;  (** the SAT-resilience budget |M_l| *)
+  candidates : Minterm.t array;  (** the designer's list C *)
+}
+
+type solution = {
+  config : Rb_locking.Config.t;  (** chosen locked minterms per FU *)
+  binding : Rb_hls.Binding.t;  (** complete obfuscation-aware binding *)
+  errors : int;  (** Eqn. 2 value of (config, binding) *)
+  assignments_searched : int;  (** candidate assignments scored *)
+}
+
+val validate_spec : Rb_hls.Allocation.t -> spec -> Rb_dfg.Dfg.op_kind
+(** Check the spec (non-empty same-kind FU set, budget within the
+    candidate count) and return the locked kind. Raises
+    [Invalid_argument] otherwise. *)
+
+val search_space : spec -> int
+(** [C(|C|, |M|)^|L|], saturating at [max_int]. *)
+
+val optimal :
+  ?max_assignments:int ->
+  Rb_sim.Kmatrix.t ->
+  Rb_sched.Schedule.t ->
+  Rb_hls.Allocation.t ->
+  spec ->
+  [ `Solution of solution | `Too_large of int ]
+(** Exhaustive search. Refuses (returning [`Too_large] with the space
+    size) when the space exceeds [max_assignments] (default 500_000)
+    rather than silently truncating. *)
+
+val heuristic :
+  Rb_sim.Kmatrix.t ->
+  Rb_sched.Schedule.t ->
+  Rb_hls.Allocation.t ->
+  spec ->
+  solution
+(** The P-time sequential heuristic of Sec. V-A. *)

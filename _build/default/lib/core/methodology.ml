@@ -1,0 +1,60 @@
+module Config = Rb_locking.Config
+
+type goal = { target_error_events : int; min_lambda : float }
+
+type plan = {
+  solution : Codesign.solution;
+  minterms_per_fu : int;
+  achieved_errors : int;
+  predicted_lambda : float;
+  meets_error_target : bool;
+  meets_resilience : bool;
+  exponential_topup : bool;
+}
+
+let predicted_lambda_of ?key_bits config =
+  match key_bits with
+  | None -> Config.lambda_per_fu config
+  | Some kb ->
+    let input_bits = 2 * Rb_dfg.Word.width in
+    List.fold_left
+      (fun acc fu ->
+        let minterms =
+          Rb_dfg.Minterm.Set.cardinal (Config.minterms_of config fu)
+        in
+        min acc
+          (Rb_locking.Resilience.lambda_minterms ~key_bits:kb ~correct_keys:1
+             ~input_bits ~minterms))
+      infinity (Config.locked_fus config)
+
+let plan_of ?key_bits goal minterms_per_fu (solution : Codesign.solution) =
+  let predicted_lambda = predicted_lambda_of ?key_bits solution.config in
+  let meets_error_target = solution.errors >= goal.target_error_events in
+  let meets_resilience = predicted_lambda >= goal.min_lambda in
+  {
+    solution;
+    minterms_per_fu;
+    achieved_errors = solution.errors;
+    predicted_lambda;
+    meets_error_target;
+    meets_resilience;
+    exponential_topup = not meets_resilience;
+  }
+
+let design ?max_minterms_per_fu ?key_bits k schedule allocation ~scheme ~locked_fus ~candidates goal =
+  let limit =
+    Option.value max_minterms_per_fu ~default:(Array.length candidates)
+  in
+  if limit < 1 then invalid_arg "Methodology.design: empty budget range";
+  let solve minterms_per_fu =
+    let spec =
+      { Codesign.scheme; locked_fus; minterms_per_fu; candidates }
+    in
+    Codesign.heuristic k schedule allocation spec
+  in
+  let rec grow m =
+    let candidate_plan = plan_of ?key_bits goal m (solve m) in
+    if candidate_plan.meets_error_target || m >= limit then candidate_plan
+    else grow (m + 1)
+  in
+  grow 1

@@ -1,0 +1,45 @@
+(** Obfuscation-aware binding — paper Sec. IV-B.
+
+    Given a locking configuration whose locked minterms are already
+    fixed, bind each cycle's concurrent operations to FUs by a
+    max-weight bipartite matching whose edge weights are Eqn. 3
+    ([w(i,j)] = occurrences of FU [i]'s locked minterms in operation
+    [j]). Per-cycle matchings are independent (separability), so the
+    concatenation is the binding with the maximum expected application
+    errors (Thm. 2), in O(s |Nm| |R| log |R|) time. *)
+
+val bind :
+  Rb_sim.Kmatrix.t ->
+  Rb_locking.Config.t ->
+  Rb_sched.Schedule.t ->
+  Rb_hls.Allocation.t ->
+  Rb_hls.Binding.t
+(** The public algorithm: always returns a valid, complete binding
+    (Thm. 1) maximizing Eqn. 2 for the given configuration. *)
+
+(** Allocation-light fast path used by the co-design enumerators: the
+    locked minterm sets are given as candidate-index subsets per locked
+    FU over a prebuilt {!Cost.cand_table}. *)
+module Fast : sig
+  type t
+  (** Preprocessed (schedule, allocation, table) state reused across
+      millions of assignments. *)
+
+  val prepare :
+    Cost.cand_table ->
+    Rb_sched.Schedule.t ->
+    Rb_hls.Allocation.t ->
+    kind:Rb_dfg.Dfg.op_kind ->
+    t
+  (** Specialize to one operation kind (the paper binds kinds
+      separately; only FUs of [kind] can be locked in this state). *)
+
+  val best_errors : t -> locks:(int * int array) list -> int
+  (** Maximum Eqn. 2 value over bindings of this kind's operations,
+      where [locks] gives (FU id, candidate-index subset) pairs.
+      Does not materialize the binding. *)
+
+  val best_binding : t -> locks:(int * int array) list -> int array * int
+  (** As {!best_errors} but also returns the kind's operation-to-FU
+      map (entries for other kinds are -1). *)
+end

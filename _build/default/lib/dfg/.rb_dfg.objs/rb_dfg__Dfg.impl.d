@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Buffer Format Int List Option Printf Word

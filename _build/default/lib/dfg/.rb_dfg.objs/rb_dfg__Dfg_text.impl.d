@@ -1,0 +1,1 @@
+lib/dfg/dfg_text.ml: Array Buffer Dfg List Printf String

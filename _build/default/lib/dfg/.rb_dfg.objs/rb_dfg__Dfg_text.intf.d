@@ -1,0 +1,1 @@
+lib/dfg/dfg_text.mli: Dfg

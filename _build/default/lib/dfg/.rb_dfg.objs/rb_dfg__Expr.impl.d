@@ -1,0 +1,1 @@
+lib/dfg/expr.ml: Dfg Hashtbl List Printf Result String Word

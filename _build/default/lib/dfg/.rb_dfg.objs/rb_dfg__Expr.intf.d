@@ -1,0 +1,1 @@
+lib/dfg/expr.mli: Dfg

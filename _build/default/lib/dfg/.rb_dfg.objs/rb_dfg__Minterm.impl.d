@@ -1,0 +1,1 @@
+lib/dfg/minterm.ml: Format Hashtbl Int Map Set Word

@@ -1,0 +1,1 @@
+lib/dfg/minterm.mli: Format Map Set

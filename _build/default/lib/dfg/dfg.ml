@@ -1,0 +1,189 @@
+type op_kind = Add | Mul
+
+type op_id = int
+
+type operand = Input of string | Const of int | Op of op_id
+
+type operation = {
+  id : op_id;
+  kind : op_kind;
+  lhs : operand;
+  rhs : operand;
+  label : string;
+}
+
+type t = {
+  name : string;
+  ops : operation array;
+  inputs : string list;
+  outputs : op_id list;
+  successors : op_id list array;
+}
+
+let name t = t.name
+let ops t = t.ops
+let op t id = t.ops.(id)
+let op_count t = Array.length t.ops
+let inputs t = t.inputs
+let outputs t = t.outputs
+
+let kind_label = function Add -> "add" | Mul -> "mul"
+
+let eval_kind = function Add -> Word.add | Mul -> Word.mul
+
+let ops_of_kind t kind =
+  Array.to_list t.ops
+  |> List.filter (fun o -> o.kind = kind)
+  |> List.map (fun o -> o.id)
+
+let operand_deps o =
+  let dep = function Op id -> [ id ] | Input _ | Const _ -> [] in
+  dep o.lhs @ dep o.rhs
+
+let predecessors t id = operand_deps t.ops.(id)
+
+let successors t id = t.successors.(id)
+
+let validate t =
+  let n = Array.length t.ops in
+  let check_operand owner = function
+    | Op id when id < 0 || id >= n -> Error (Printf.sprintf "op %d: dangling operand %d" owner id)
+    | Op id when id >= owner -> Error (Printf.sprintf "op %d: forward reference to %d" owner id)
+    | Op _ | Input _ | Const _ -> Ok ()
+  in
+  let rec check_ops i =
+    if i >= n then Ok ()
+    else if t.ops.(i).id <> i then Error (Printf.sprintf "op %d: id mismatch" i)
+    else
+      match check_operand i t.ops.(i).lhs with
+      | Error _ as e -> e
+      | Ok () ->
+        (match check_operand i t.ops.(i).rhs with
+         | Error _ as e -> e
+         | Ok () -> check_ops (i + 1))
+  in
+  if n = 0 then Error "empty DFG"
+  else
+    match check_ops 0 with
+    | Error _ as e -> e
+    | Ok () ->
+      let bad_output = List.find_opt (fun id -> id < 0 || id >= n) t.outputs in
+      (match bad_output with
+       | Some id -> Error (Printf.sprintf "output %d out of range" id)
+       | None -> Ok ())
+
+let critical_path_length t =
+  let n = Array.length t.ops in
+  let depth = Array.make n 1 in
+  for i = 0 to n - 1 do
+    let d =
+      List.fold_left (fun acc p -> max acc (depth.(p) + 1)) 1 (predecessors t i)
+    in
+    depth.(i) <- d
+  done;
+  Array.fold_left max 0 depth
+
+let operand_dot_label = function
+  | Input s -> s
+  | Const c -> string_of_int c
+  | Op id -> Printf.sprintf "op%d" id
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" t.name);
+  Array.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  op%d [label=\"%s: %s\"];\n" o.id o.label (kind_label o.kind)))
+    t.ops;
+  Array.iter
+    (fun o ->
+      let edge src =
+        match src with
+        | Op id -> Buffer.add_string buf (Printf.sprintf "  op%d -> op%d;\n" id o.id)
+        | Input _ | Const _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> op%d [style=dashed];\n" (operand_dot_label src) o.id)
+      in
+      edge o.lhs;
+      edge o.rhs)
+    t.ops;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp fmt t =
+  let count kind = List.length (ops_of_kind t kind) in
+  Format.fprintf fmt "%s: %d add, %d mul, %d inputs, %d outputs" t.name (count Add)
+    (count Mul) (List.length t.inputs) (List.length t.outputs)
+
+module Builder = struct
+  type t = {
+    bname : string;
+    mutable rev_ops : operation list;
+    mutable next_id : int;
+    mutable rev_inputs : string list;
+    mutable rev_outputs : op_id list;
+  }
+
+  let create bname =
+    { bname; rev_ops = []; next_id = 0; rev_inputs = []; rev_outputs = [] }
+
+  let input b input_name =
+    if not (List.mem input_name b.rev_inputs) then
+      b.rev_inputs <- input_name :: b.rev_inputs;
+    Input input_name
+
+  let const c = Const (Word.clamp c)
+
+  let check_operand b = function
+    | Op id when id < 0 || id >= b.next_id ->
+      invalid_arg (Printf.sprintf "Dfg.Builder: operand op %d does not exist" id)
+    | Op _ | Input _ | Const _ -> ()
+
+  let append ?label b kind lhs rhs =
+    check_operand b lhs;
+    check_operand b rhs;
+    let id = b.next_id in
+    let label = Option.value label ~default:(Printf.sprintf "%s%d" (kind_label kind) id) in
+    b.rev_ops <- { id; kind; lhs; rhs; label } :: b.rev_ops;
+    b.next_id <- id + 1;
+    Op id
+
+  let add ?label b lhs rhs = append ?label b Add lhs rhs
+  let mul ?label b lhs rhs = append ?label b Mul lhs rhs
+
+  let output b = function
+    | Op id ->
+      check_operand b (Op id);
+      b.rev_outputs <- id :: b.rev_outputs
+    | Input _ | Const _ -> invalid_arg "Dfg.Builder.output: not an operation result"
+
+  let finish b =
+    let ops = Array.of_list (List.rev b.rev_ops) in
+    let n = Array.length ops in
+    if n = 0 then invalid_arg "Dfg.Builder.finish: empty DFG";
+    let successors = Array.make n [] in
+    Array.iter
+      (fun o ->
+        let note = function
+          | Op id -> successors.(id) <- o.id :: successors.(id)
+          | Input _ | Const _ -> ()
+        in
+        note o.lhs;
+        note o.rhs)
+      ops;
+    let successors = Array.map (fun l -> List.sort_uniq Int.compare l) successors in
+    let marked = List.sort_uniq Int.compare b.rev_outputs in
+    let implicit =
+      Array.to_list ops
+      |> List.filter (fun o -> successors.(o.id) = [] && not (List.mem o.id marked))
+      |> List.map (fun o -> o.id)
+    in
+    {
+      name = b.bname;
+      ops;
+      inputs = List.rev b.rev_inputs;
+      outputs = List.sort_uniq Int.compare (marked @ implicit);
+      successors;
+    }
+end

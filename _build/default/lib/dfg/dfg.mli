@@ -1,0 +1,105 @@
+(** Data-flow graphs: the HLS intermediate representation.
+
+    A DFG is the output of HLS scheduling's front end (Sec. II-B):
+    nodes are single-cycle arithmetic operations, edges are data
+    dependencies. Operations are created through {!Builder} in
+    topological order, so every graph is acyclic by construction.
+
+    Operation identity is a dense integer [op_id]; all per-operation
+    tables in the library (schedules, bindings, K-matrix columns) are
+    arrays indexed by it. *)
+
+type op_kind = Add | Mul
+
+type op_id = int
+
+(** Source of an operand value. *)
+type operand =
+  | Input of string  (** a named primary input, one word per trace sample *)
+  | Const of int  (** a compile-time constant word *)
+  | Op of op_id  (** the result of another operation *)
+
+type operation = {
+  id : op_id;
+  kind : op_kind;
+  lhs : operand;
+  rhs : operand;
+  label : string;  (** human-readable name for reports and DOT dumps *)
+}
+
+type t
+
+val name : t -> string
+val ops : t -> operation array
+val op : t -> op_id -> operation
+val op_count : t -> int
+val inputs : t -> string list
+(** Primary input names, in first-use order. *)
+
+val outputs : t -> op_id list
+(** Operations whose results are the kernel's primary outputs. *)
+
+val ops_of_kind : t -> op_kind -> op_id list
+(** Ids of all operations of one kind, ascending. The paper binds each
+    operation/resource type separately (Sec. IV-B); this is the
+    partition it works on. *)
+
+val predecessors : t -> op_id -> op_id list
+(** Operation ids feeding an operation (0, 1 or 2 entries). *)
+
+val successors : t -> op_id -> op_id list
+(** Operation ids consuming an operation's result, ascending. *)
+
+val kind_label : op_kind -> string
+(** ["add"] or ["mul"]. *)
+
+val eval_kind : op_kind -> int -> int -> int
+(** Word-level semantics of an operation kind. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: dense ids, operand references point backwards
+    (acyclicity), outputs exist, at least one operation. The builder
+    guarantees these; [validate] guards hand-constructed graphs and is
+    exercised by the test suite. *)
+
+val critical_path_length : t -> int
+(** Longest dependency chain, in operations. A lower bound on any
+    schedule's cycle count. *)
+
+val to_dot : t -> string
+(** Graphviz rendering (operations as nodes, dependencies as edges). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: name, op counts per kind, input count. *)
+
+(** Incremental, topologically-ordered construction. *)
+module Builder : sig
+  type dfg := t
+  type t
+
+  val create : string -> t
+  (** [create name] starts an empty graph. *)
+
+  val input : t -> string -> operand
+  (** Declare (or re-reference) a primary input by name. *)
+
+  val const : int -> operand
+  (** A constant word operand. *)
+
+  val add : ?label:string -> t -> operand -> operand -> operand
+  (** Append an addition; the result is an [Op] operand usable by later
+      operations. Raises [Invalid_argument] if an [Op] operand does not
+      exist yet. *)
+
+  val mul : ?label:string -> t -> operand -> operand -> operand
+  (** Append a multiplication; see {!add}. *)
+
+  val output : t -> operand -> unit
+  (** Mark an operation result as a primary output. Raises
+      [Invalid_argument] on [Input]/[Const] operands. *)
+
+  val finish : t -> dfg
+  (** Freeze the graph. Every operation with no consumer and no output
+      mark is implicitly added to the outputs (dead code is meaningful
+      silicon in a datapath). *)
+end

@@ -1,0 +1,133 @@
+let to_string dfg =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "dfg %s\n" (Dfg.name dfg));
+  List.iter (fun i -> Buffer.add_string buf (Printf.sprintf "input %s\n" i)) (Dfg.inputs dfg);
+  let operand_str = function
+    | Dfg.Input name -> name
+    | Dfg.Const c -> Printf.sprintf "#%d" c
+    | Dfg.Op id -> Printf.sprintf "%%%d" id
+  in
+  Array.iter
+    (fun (o : Dfg.operation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "op %d %s %s %s\n" o.Dfg.id
+           (Dfg.kind_label o.Dfg.kind)
+           (operand_str o.Dfg.lhs) (operand_str o.Dfg.rhs)))
+    (Dfg.ops dfg);
+  List.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "output %%%d\n" id))
+    (Dfg.outputs dfg);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable pname : string option;
+  mutable inputs : string list; (* reverse *)
+  mutable ops : (int * Dfg.op_kind * string * string) list; (* reverse *)
+  mutable outputs : int list; (* reverse *)
+}
+
+let of_string text =
+  let state = { pname = None; inputs = []; ops = []; outputs = [] } in
+  let error line_no reason = Error (Printf.sprintf "line %d: %s" line_no reason) in
+  let parse_line line_no line =
+    let trimmed = String.trim line in
+    (* full-line comments only: '#' would clash with constant operands *)
+    let trimmed = if String.length trimmed > 0 && trimmed.[0] = '#' then "" else trimmed in
+    let words = String.split_on_char ' ' trimmed |> List.filter (fun w -> w <> "") in
+    match words with
+    | [] -> Ok ()
+    | [ "dfg"; name ] ->
+      if state.pname <> None then error line_no "duplicate dfg header"
+      else begin
+        state.pname <- Some name;
+        Ok ()
+      end
+    | [ "input"; name ] ->
+      state.inputs <- name :: state.inputs;
+      Ok ()
+    | [ "op"; id; kind; lhs; rhs ] ->
+      (match (int_of_string_opt id, kind) with
+       | Some id, "add" ->
+         state.ops <- (id, Dfg.Add, lhs, rhs) :: state.ops;
+         Ok ()
+       | Some id, "mul" ->
+         state.ops <- (id, Dfg.Mul, lhs, rhs) :: state.ops;
+         Ok ()
+       | Some _, other -> error line_no (Printf.sprintf "unknown kind %S" other)
+       | None, _ -> error line_no "bad op id")
+    | [ "output"; operand ] ->
+      if String.length operand > 1 && operand.[0] = '%' then
+        match int_of_string_opt (String.sub operand 1 (String.length operand - 1)) with
+        | Some id ->
+          state.outputs <- id :: state.outputs;
+          Ok ()
+        | None -> error line_no "bad output id"
+      else error line_no "output must reference an op (%id)"
+    | _ -> error line_no (Printf.sprintf "unparsable line %S" (String.trim line))
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec parse_all line_no = function
+    | [] -> Ok ()
+    | line :: rest ->
+      (match parse_line line_no line with
+       | Ok () -> parse_all (line_no + 1) rest
+       | Error _ as e -> e)
+  in
+  let build () =
+    match state.pname with
+    | None -> Error "missing 'dfg NAME' header"
+    | Some name ->
+      let b = Dfg.Builder.create name in
+      let declared_inputs = List.rev state.inputs in
+      List.iter (fun i -> ignore (Dfg.Builder.input b i)) declared_inputs;
+      let ops = List.rev state.ops in
+      let operand_of spec =
+        if String.length spec = 0 then Error "empty operand"
+        else if spec.[0] = '#' then
+          match int_of_string_opt (String.sub spec 1 (String.length spec - 1)) with
+          | Some c -> Ok (Dfg.Builder.const c)
+          | None -> Error (Printf.sprintf "bad constant %S" spec)
+        else if spec.[0] = '%' then
+          match int_of_string_opt (String.sub spec 1 (String.length spec - 1)) with
+          | Some id -> Ok (Dfg.Op id)
+          | None -> Error (Printf.sprintf "bad op reference %S" spec)
+        else if List.mem spec declared_inputs then Ok (Dfg.Input spec)
+        else Error (Printf.sprintf "undeclared input %S" spec)
+      in
+      let rec add_ops expected = function
+        | [] -> Ok ()
+        | (id, kind, lhs, rhs) :: rest ->
+          if id <> expected then
+            Error (Printf.sprintf "op ids must be dense/ascending; got %d, wanted %d" id expected)
+          else
+            (match (operand_of lhs, operand_of rhs) with
+             | Ok l, Ok r ->
+               (match
+                  (match kind with
+                   | Dfg.Add -> Dfg.Builder.add b l r
+                   | Dfg.Mul -> Dfg.Builder.mul b l r)
+                with
+                | (_ : Dfg.operand) -> add_ops (expected + 1) rest
+                | exception Invalid_argument msg -> Error msg)
+             | Error e, _ | _, Error e -> Error e)
+      in
+      (match add_ops 0 ops with
+       | Error _ as e -> e
+       | Ok () ->
+         let rec mark = function
+           | [] -> Ok ()
+           | id :: rest ->
+             (match Dfg.Builder.output b (Dfg.Op id) with
+              | () -> mark rest
+              | exception Invalid_argument msg -> Error msg)
+         in
+         (match mark (List.rev state.outputs) with
+          | Error _ as e -> e
+          | Ok () ->
+            (match Dfg.Builder.finish b with
+             | dfg -> Ok dfg
+             | exception Invalid_argument msg -> Error msg)))
+  in
+  match parse_all 1 lines with
+  | Error _ as e -> e
+  | Ok () -> build ()

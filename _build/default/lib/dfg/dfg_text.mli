@@ -1,0 +1,23 @@
+(** A line-oriented textual DFG exchange format.
+
+    Lets users feed their own kernels to the binding algorithms without
+    writing OCaml (the CLI consumes it), and gives the test suite a
+    round-trippable serialization. Grammar (one item per line; lines
+    whose first non-blank character is ['#'] are comments):
+
+    {v
+      dfg NAME
+      input  NAME            declare a primary input
+      op ID KIND LHS RHS     KIND = add | mul
+                             operand = input name | #N (constant) | %ID
+      output %ID             mark an operation result as a DFG output
+    v}
+
+    Operation ids must be dense and ascending (the builder's
+    topological discipline). *)
+
+val to_string : Dfg.t -> string
+(** Serialize; [of_string] of the result reproduces an equal graph. *)
+
+val of_string : string -> (Dfg.t, string) result
+(** Parse; the error carries a line number and reason. *)

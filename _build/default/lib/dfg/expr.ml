@@ -1,0 +1,252 @@
+type binop = Plus | Minus | Times
+
+type ast = Var of string | Int of int | Bin of binop * ast * ast
+
+type stmt =
+  | Kernel of string
+  | Input of string list
+  | Assign of string * ast
+  | Output of string
+
+(* ------------------------------------------------------------- lexing *)
+
+type token = Ident of string | Num of int | Op of char | Eq | Comma | Lpar | Rpar
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize line =
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match line.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '#' -> Ok (List.rev acc)
+      | '+' -> go (i + 1) (Op '+' :: acc)
+      | '-' -> go (i + 1) (Op '-' :: acc)
+      | '*' -> go (i + 1) (Op '*' :: acc)
+      | '=' -> go (i + 1) (Eq :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '(' -> go (i + 1) (Lpar :: acc)
+      | ')' -> go (i + 1) (Rpar :: acc)
+      | '0' .. '9' ->
+        let j = ref i in
+        while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+          incr j
+        done;
+        go !j (Num (int_of_string (String.sub line i (!j - i))) :: acc)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char line.[!j] do
+          incr j
+        done;
+        go !j (Ident (String.sub line i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------ parsing *)
+
+(* expr := term (('+'|'-') term)* ; term := factor ('*' factor)* *)
+let parse_expr tokens =
+  let rec expr ts =
+    Result.bind (term ts) (fun (lhs, rest) -> expr_tail lhs rest)
+  and expr_tail lhs = function
+    | Op '+' :: rest ->
+      Result.bind (term rest) (fun (rhs, rest) -> expr_tail (Bin (Plus, lhs, rhs)) rest)
+    | Op '-' :: rest ->
+      Result.bind (term rest) (fun (rhs, rest) -> expr_tail (Bin (Minus, lhs, rhs)) rest)
+    | rest -> Ok (lhs, rest)
+  and term ts =
+    Result.bind (factor ts) (fun (lhs, rest) -> term_tail lhs rest)
+  and term_tail lhs = function
+    | Op '*' :: rest ->
+      Result.bind (factor rest) (fun (rhs, rest) -> term_tail (Bin (Times, lhs, rhs)) rest)
+    | rest -> Ok (lhs, rest)
+  and factor = function
+    | Ident name :: rest -> Ok (Var name, rest)
+    | Num v :: rest -> Ok (Int v, rest)
+    | Lpar :: rest ->
+      Result.bind (expr rest) (fun (e, rest) ->
+          match rest with
+          | Rpar :: rest -> Ok (e, rest)
+          | _ -> Error "expected ')'")
+    | _ -> Error "expected identifier, number or '('"
+  in
+  Result.bind (expr tokens) (fun (e, rest) ->
+      match rest with [] -> Ok e | _ -> Error "trailing tokens after expression")
+
+let parse_line line =
+  Result.bind (tokenize line) (fun tokens ->
+      match tokens with
+      | [] -> Ok None
+      | [ Ident "kernel"; Ident name ] -> Ok (Some (Kernel name))
+      | Ident "input" :: rest ->
+        let rec names acc = function
+          | [ Ident n ] -> Ok (List.rev (n :: acc))
+          | Ident n :: Comma :: rest -> names (n :: acc) rest
+          | _ -> Error "expected comma-separated input names"
+        in
+        Result.map (fun ns -> Some (Input ns)) (names [] rest)
+      | [ Ident "output"; Ident name ] -> Ok (Some (Output name))
+      | Ident name :: Eq :: rest ->
+        Result.map (fun e -> Some (Assign (name, e))) (parse_expr rest)
+      | _ -> Error "expected 'input', 'output', 'kernel' or an assignment")
+
+let keywords = [ "input"; "output"; "kernel" ]
+
+let parse program =
+  let lines = String.split_on_char '\n' program in
+  let rec go line_no acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      (match parse_line line with
+       | Ok None -> go (line_no + 1) acc rest
+       | Ok (Some stmt) -> go (line_no + 1) ((line_no, stmt) :: acc) rest
+       | Error e -> Error (Printf.sprintf "line %d: %s" line_no e))
+  in
+  go 1 [] lines
+
+(* ---------------------------------------------------------- compiling *)
+
+(* Compiling and interpreting share a traversal parameterized by the
+   value domain: operands under the builder, ints for the oracle. *)
+let check_program stmts =
+  let defined = Hashtbl.create 16 in
+  let rec check = function
+    | [] -> Ok ()
+    | (line_no, stmt) :: rest ->
+      let err fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line_no m)) fmt in
+      let declare name what =
+        if List.mem name keywords then err "%s name %S is reserved" what name
+        else if Hashtbl.mem defined name then err "%S defined twice" name
+        else begin
+          Hashtbl.replace defined name ();
+          Ok ()
+        end
+      in
+      let rec uses = function
+        | Var name ->
+          if Hashtbl.mem defined name then Ok () else err "undefined name %S" name
+        | Int v -> if v >= 0 then Ok () else err "negative literal"
+        | Bin (_, a, b) -> Result.bind (uses a) (fun () -> uses b)
+      in
+      let step =
+        match stmt with
+        | Kernel _ -> Ok ()
+        | Input names ->
+          List.fold_left
+            (fun acc n -> Result.bind acc (fun () -> declare n "input"))
+            (Ok ()) names
+        | Assign (name, e) ->
+          Result.bind (uses e) (fun () -> declare name "value")
+        | Output name ->
+          if Hashtbl.mem defined name then Ok () else err "undefined output %S" name
+      in
+      Result.bind step (fun () -> check rest)
+  in
+  check stmts
+
+let compile program =
+  Result.bind (parse program) (fun stmts ->
+      Result.bind (check_program stmts) (fun () ->
+          let name =
+            List.fold_left
+              (fun acc (_, s) -> match s with Kernel n -> n | Input _ | Assign _ | Output _ -> acc)
+              "expr" stmts
+          in
+          let b = Dfg.Builder.create name in
+          (* Build lazily from the declared outputs: assignments whose
+             values are never used emit no operations (dead-code
+             elimination), so the DFG's outputs are exactly the
+             declared ones. *)
+          let asts : (string, ast) Hashtbl.t = Hashtbl.create 16 in
+          let env : (string, Dfg.operand) Hashtbl.t = Hashtbl.create 16 in
+          (* CSE memo keyed on (kind, canonically-ordered operands). *)
+          let memo : (Dfg.op_kind * Dfg.operand * Dfg.operand, Dfg.operand) Hashtbl.t =
+            Hashtbl.create 32
+          in
+          let emit kind x y =
+            match (x, y) with
+            | Dfg.Const a, Dfg.Const b -> Dfg.Builder.const (Dfg.eval_kind kind a b)
+            | _ ->
+              let x, y = if compare x y <= 0 then (x, y) else (y, x) in
+              (match Hashtbl.find_opt memo (kind, x, y) with
+               | Some op -> op
+               | None ->
+                 let op =
+                   match kind with
+                   | Dfg.Add -> Dfg.Builder.add b x y
+                   | Dfg.Mul -> Dfg.Builder.mul b x y
+                 in
+                 Hashtbl.replace memo (kind, x, y) op;
+                 op)
+          in
+          let rec build = function
+            | Var v ->
+              (match Hashtbl.find_opt env v with
+               | Some operand -> operand
+               | None ->
+                 let operand = build (Hashtbl.find asts v) in
+                 Hashtbl.replace env v operand;
+                 operand)
+            | Int v -> Dfg.Builder.const v
+            | Bin (Plus, a, c) -> emit Dfg.Add (build a) (build c)
+            | Bin (Times, a, c) -> emit Dfg.Mul (build a) (build c)
+            | Bin (Minus, a, c) ->
+              (* a - c == a + c*255 in 8-bit two's complement *)
+              emit Dfg.Add (build a) (emit Dfg.Mul (build c) (Dfg.Builder.const 255))
+          in
+          (* Pass 1: declare inputs in order, record assignment ASTs. *)
+          List.iter
+            (fun (_, stmt) ->
+              match stmt with
+              | Kernel _ | Output _ -> ()
+              | Input names ->
+                List.iter (fun n -> Hashtbl.replace env n (Dfg.Builder.input b n)) names
+              | Assign (name, e) -> Hashtbl.replace asts name e)
+            stmts;
+          (* Pass 2: build only what the outputs reach. *)
+          let rec run outputs = function
+            | [] ->
+              if outputs = 0 then Error "program has no outputs"
+              else Ok (Dfg.Builder.finish b)
+            | (line_no, stmt) :: rest ->
+              (match stmt with
+               | Kernel _ | Input _ | Assign _ -> run outputs rest
+               | Output name ->
+                 (match build (Var name) with
+                  | Dfg.Op _ as op ->
+                    Dfg.Builder.output b op;
+                    run (outputs + 1) rest
+                  | Dfg.Input _ | Dfg.Const _ ->
+                    Error
+                      (Printf.sprintf
+                         "line %d: output %S folds to a wire/constant; nothing to compute"
+                         line_no name)))
+          in
+          run 0 stmts))
+
+let eval_reference program ~inputs =
+  Result.bind (parse program) (fun stmts ->
+      Result.bind (check_program stmts) (fun () ->
+          let env : (string, int) Hashtbl.t = Hashtbl.create 16 in
+          let rec eval = function
+            | Var v -> Hashtbl.find env v
+            | Int v -> Word.clamp v
+            | Bin (Plus, a, b) -> Word.add (eval a) (eval b)
+            | Bin (Times, a, b) -> Word.mul (eval a) (eval b)
+            | Bin (Minus, a, b) -> Word.add (eval a) (Word.mul (eval b) 255)
+          in
+          let outputs = ref [] in
+          List.iter
+            (fun (_, stmt) ->
+              match stmt with
+              | Kernel _ -> ()
+              | Input names ->
+                List.iter (fun n -> Hashtbl.replace env n (Word.clamp (inputs n))) names
+              | Assign (name, e) -> Hashtbl.replace env name (eval e)
+              | Output name -> outputs := (name, Hashtbl.find env name) :: !outputs)
+            stmts;
+          Ok (List.rev !outputs)))

@@ -1,0 +1,37 @@
+(** A behavioural front end: straight-line expression code -> DFG.
+
+    HLS starts from "a behavioral description of a digital system"
+    (Sec. II-B); this module provides a minimal one so kernels can be
+    written as arithmetic instead of operation lists:
+
+    {v
+      # 3-tap filter
+      input x0, x1, x2
+      acc = 3*x0 + 11*x1 + 3*x2
+      y   = acc - x1
+      output y
+    v}
+
+    Semantics are the library's 8-bit wrapping words. [+] and [*] map
+    to Add/Mul operations; [a - b] lowers to [a + b*255] (exact
+    two's-complement negation, the same idiom the built-in benchmarks
+    use). [*] binds tighter than [+]/[-]; parentheses group.
+
+    The compiler constant-folds ([2*3+1] emits no operations), shares
+    common subexpressions (writing [a+b] twice emits one adder
+    operation), and eliminates dead code (assignments no output
+    reaches emit nothing), so the compiled DFG's outputs are exactly
+    the declared ones. *)
+
+val compile : string -> (Dfg.t, string) result
+(** Parse and compile a program. Names: [input] lines declare primary
+    inputs; [name = expr] defines a value (single assignment); [output
+    name] marks outputs (at least one required; the value must be an
+    operation result, not a bare input or constant). The first line
+    may be [kernel NAME] to name the DFG (default ["expr"]). Errors
+    carry a line number. *)
+
+val eval_reference :
+  string -> inputs:(string -> int) -> ((string * int) list, string) result
+(** Interpret the same program directly (no DFG), returning the output
+    values in declaration order — the test oracle for {!compile}. *)

@@ -1,0 +1,6 @@
+let width = 8
+let mask = (1 lsl width) - 1
+let count = 1 lsl width
+let clamp x = x land mask
+let add a b = (clamp a + clamp b) land mask
+let mul a b = (clamp a * clamp b) land mask

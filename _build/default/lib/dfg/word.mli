@@ -1,0 +1,25 @@
+(** Word-level arithmetic of the modelled functional units.
+
+    All FU operations in this reproduction are 2-operand, [width]-bit,
+    wrapping arithmetic. 8-bit words keep the per-FU input-minterm
+    space at 2^16, which is large enough for the locking trade-off of
+    paper Eqn. 1 to bite and small enough for exhaustive ground truth
+    in tests. *)
+
+val width : int
+(** Bits per operand (8). *)
+
+val mask : int
+(** [2^width - 1]. *)
+
+val count : int
+(** Number of representable words, [2^width]. *)
+
+val clamp : int -> int
+(** Truncate an integer to the word range. *)
+
+val add : int -> int -> int
+(** Wrapping addition of two clamped words. *)
+
+val mul : int -> int -> int
+(** Wrapping multiplication of two clamped words. *)

@@ -1,0 +1,1 @@
+lib/hls/allocation.ml: Format Fun List Rb_dfg Rb_sched

@@ -1,0 +1,1 @@
+lib/hls/allocation.mli: Format Rb_dfg Rb_sched

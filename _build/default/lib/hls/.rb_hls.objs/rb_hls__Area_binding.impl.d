@@ -1,0 +1,1 @@
+lib/hls/area_binding.ml: Allocation Array Bind_engine List Rb_dfg Rb_sched

@@ -1,0 +1,1 @@
+lib/hls/area_binding.mli: Allocation Binding Rb_sched

@@ -1,0 +1,1 @@
+lib/hls/bind_engine.ml: Allocation Array Binding Printf Rb_dfg Rb_matching Rb_sched

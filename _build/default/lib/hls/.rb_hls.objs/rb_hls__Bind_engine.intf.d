@@ -1,0 +1,1 @@
+lib/hls/bind_engine.mli: Allocation Binding Rb_dfg Rb_sched

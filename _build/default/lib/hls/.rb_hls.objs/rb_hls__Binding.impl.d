@@ -1,0 +1,1 @@
+lib/hls/binding.ml: Allocation Array Format Hashtbl Int List Printf Rb_dfg Rb_sched

@@ -1,0 +1,1 @@
+lib/hls/binding.mli: Allocation Format Rb_dfg Rb_sched

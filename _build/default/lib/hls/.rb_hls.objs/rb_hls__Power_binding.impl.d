@@ -1,0 +1,1 @@
+lib/hls/power_binding.ml: Bind_engine Hashtbl Profile

@@ -1,0 +1,1 @@
+lib/hls/power_binding.mli: Allocation Binding Profile Rb_sched

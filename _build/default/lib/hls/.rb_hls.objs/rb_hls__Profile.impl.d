@@ -1,0 +1,1 @@
+lib/hls/profile.ml: Array Rb_dfg Rb_sim

@@ -1,0 +1,1 @@
+lib/hls/profile.mli: Rb_dfg Rb_sim

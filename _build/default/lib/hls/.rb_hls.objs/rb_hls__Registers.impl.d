@@ -1,0 +1,1 @@
+lib/hls/registers.ml: Allocation Binding List Rb_dfg Rb_sched

@@ -1,0 +1,1 @@
+lib/hls/registers.mli: Binding Rb_dfg

@@ -1,0 +1,1 @@
+lib/hls/switching.ml: Allocation Binding Profile Rb_dfg

@@ -1,0 +1,1 @@
+lib/hls/switching.mli: Binding Profile

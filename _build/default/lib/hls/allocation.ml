@@ -1,0 +1,23 @@
+module Dfg = Rb_dfg.Dfg
+module Schedule = Rb_sched.Schedule
+
+type t = { adders : int; multipliers : int }
+
+let for_schedule schedule =
+  {
+    adders = Schedule.max_concurrency schedule Dfg.Add;
+    multipliers = Schedule.max_concurrency schedule Dfg.Mul;
+  }
+
+let total t = t.adders + t.multipliers
+
+let fu_ids t = function
+  | Dfg.Add -> List.init t.adders Fun.id
+  | Dfg.Mul -> List.init t.multipliers (fun i -> t.adders + i)
+
+let kind_of_fu t fu =
+  if fu < 0 || fu >= total t then invalid_arg "Allocation.kind_of_fu"
+  else if fu < t.adders then Dfg.Add
+  else Dfg.Mul
+
+let pp fmt t = Format.fprintf fmt "%d adders + %d multipliers" t.adders t.multipliers

@@ -1,0 +1,24 @@
+(** Resource allocation — the FU inventory a schedule is bound onto.
+
+    Allocation (Sec. II-B) fixes the number of functional units of each
+    kind. FU identity is a dense global index: adders first, then
+    multipliers, so bindings and locking configurations can address any
+    FU with one integer. *)
+
+type t = { adders : int; multipliers : int }
+
+val for_schedule : Rb_sched.Schedule.t -> t
+(** The minimum allocation executing a schedule: the peak per-cycle
+    concurrency of each kind (at least 1 adder if any add exists, etc.;
+    a kind with no operations gets 0 units). *)
+
+val total : t -> int
+(** Total FU count. *)
+
+val fu_ids : t -> Rb_dfg.Dfg.op_kind -> int list
+(** Global FU ids of one kind, ascending. *)
+
+val kind_of_fu : t -> int -> Rb_dfg.Dfg.op_kind
+(** Kind of a global FU id. Raises [Invalid_argument] out of range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+module Dfg = Rb_dfg.Dfg
+module Schedule = Rb_sched.Schedule
+
+(* Weighted-matching datapath allocation in the spirit of [20]: the
+   assignment cost of putting [op] on [fu] is the marginal storage
+   pressure it adds to [fu]'s register bank — the number of values
+   already parked in that bank across the new value's lifetime — minus
+   a discount for operand-producer alignment, which keeps chains on one
+   unit and enables the output-latch bypass that {!Registers} models. *)
+
+let bind schedule allocation =
+  let dfg = Schedule.dfg schedule in
+  let n_cycles = Schedule.n_cycles schedule in
+  let fu_so_far = Array.make (Dfg.op_count dfg) (-1) in
+  let lifetime op =
+    let birth = Schedule.cycle_of schedule op in
+    let consumer_death =
+      List.fold_left
+        (fun acc c -> max acc (Schedule.cycle_of schedule c))
+        birth (Dfg.successors dfg op)
+    in
+    (birth, consumer_death)
+  in
+  (* bank.(fu).(b) = values already committed to fu's bank that are
+     live across boundary b. *)
+  let bank = Array.init (Allocation.total allocation) (fun _ -> Array.make (max 1 n_cycles) 0) in
+  let weight ~kind:_ ~cycle:_ ~op ~fu =
+    let birth, death = lifetime op in
+    let pressure = ref 0 in
+    for b = birth to death - 1 do
+      pressure := !pressure + bank.(fu).(b)
+    done;
+    let aligned =
+      List.fold_left
+        (fun acc p -> if fu_so_far.(p) = fu then acc + 1 else acc)
+        0 (Dfg.predecessors dfg op)
+    in
+    float_of_int !pressure +. (0.25 *. float_of_int (death - birth))
+    -. (0.5 *. float_of_int aligned)
+  in
+  let on_bound ~op ~fu =
+    fu_so_far.(op) <- fu;
+    let birth, death = lifetime op in
+    for b = birth to death - 1 do
+      bank.(fu).(b) <- bank.(fu).(b) + 1
+    done
+  in
+  Bind_engine.bind ~on_bound ~objective:`Minimize ~weight schedule allocation

@@ -1,0 +1,12 @@
+(** Area-aware binding — the register-count-minimizing baseline [20].
+
+    Huang et al.'s data-path allocation binds by bipartite weighted
+    matching, rewarding assignments that let a value stay inside its
+    producing FU's output register instead of occupying a shared
+    register and a multiplexer port. Our weight for binding operation
+    [op] to FU [fu] is the number of [op]'s operands whose producer is
+    already bound to [fu] (0, 1 or 2), maximized per cycle — producer
+    and consumer collapse onto the same unit, which is exactly what the
+    {!Registers} cost model rewards. *)
+
+val bind : Rb_sched.Schedule.t -> Allocation.t -> Binding.t

@@ -1,0 +1,52 @@
+module Dfg = Rb_dfg.Dfg
+module Schedule = Rb_sched.Schedule
+
+type t = {
+  schedule : Schedule.t;
+  allocation : Allocation.t;
+  fu_of_op : int array;
+}
+
+let make schedule allocation ~fu_of_op =
+  let dfg = Schedule.dfg schedule in
+  let n = Dfg.op_count dfg in
+  if Array.length fu_of_op <> n then invalid_arg "Binding.make: array length";
+  Array.iteri
+    (fun id fu ->
+      if fu < 0 || fu >= Allocation.total allocation then
+        invalid_arg (Printf.sprintf "Binding.make: op %d bound to invalid FU %d" id fu);
+      if Allocation.kind_of_fu allocation fu <> (Dfg.op dfg id).kind then
+        invalid_arg (Printf.sprintf "Binding.make: op %d bound to wrong-kind FU %d" id fu))
+    fu_of_op;
+  (* No FU executes two operations in one cycle. *)
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun id fu ->
+      let key = (Schedule.cycle_of schedule id, fu) in
+      if Hashtbl.mem seen key then
+        invalid_arg
+          (Printf.sprintf "Binding.make: FU %d double-booked in cycle %d" fu (fst key));
+      Hashtbl.add seen key ())
+    fu_of_op;
+  { schedule; allocation; fu_of_op = Array.copy fu_of_op }
+
+let schedule t = t.schedule
+let allocation t = t.allocation
+let fu_of_op t id = t.fu_of_op.(id)
+let fu_array t = Array.copy t.fu_of_op
+
+let ops_on_fu t fu =
+  let acc = ref [] in
+  Array.iteri (fun id f -> if f = fu then acc := id :: !acc) t.fu_of_op;
+  List.rev !acc
+
+let ops_on_fu_in_time t fu =
+  ops_on_fu t fu
+  |> List.sort (fun a b ->
+         Int.compare (Schedule.cycle_of t.schedule a) (Schedule.cycle_of t.schedule b))
+
+let equal a b = a.fu_of_op = b.fu_of_op
+
+let pp fmt t =
+  Format.fprintf fmt "binding over %a:" Allocation.pp t.allocation;
+  Array.iteri (fun id fu -> Format.fprintf fmt " %d->FU%d" id fu) t.fu_of_op

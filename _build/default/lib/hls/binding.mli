@@ -1,0 +1,38 @@
+(** Resource bindings — the operation-to-FU map all algorithms produce.
+
+    A binding assigns every operation of a scheduled DFG to a
+    functional unit of its own kind such that no FU executes two
+    operations in the same cycle (validity, paper Thm. 1). All four
+    binding algorithms in this repository return this one type, so the
+    error and overhead evaluations are algorithm-agnostic. *)
+
+module Dfg = Rb_dfg.Dfg
+
+type t
+
+val make : Rb_sched.Schedule.t -> Allocation.t -> fu_of_op:int array -> t
+(** Wrap and validate a raw operation-to-FU array. Raises
+    [Invalid_argument] when the array length is wrong, an operation is
+    bound to an FU of the wrong kind or out of range, or two
+    same-cycle operations share an FU. *)
+
+val schedule : t -> Rb_sched.Schedule.t
+val allocation : t -> Allocation.t
+
+val fu_of_op : t -> Dfg.op_id -> int
+
+val fu_array : t -> int array
+(** Fresh copy of the raw map (for {!Rb_sim.Exec}). *)
+
+val ops_on_fu : t -> int -> Dfg.op_id list
+(** Operations bound to an FU, ascending id — the set [N_l] of
+    Eqn. 2. *)
+
+val ops_on_fu_in_time : t -> int -> Dfg.op_id list
+(** Operations bound to an FU ordered by execution cycle — the
+    consecutive-execution sequence the switching model walks. *)
+
+val equal : t -> t -> bool
+(** Same schedule object shape and identical op-to-FU map. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+module Dfg = Rb_dfg.Dfg
+module Trace = Rb_sim.Trace
+module Exec = Rb_sim.Exec
+
+type t = {
+  n_samples : int;
+  a_values : int array array; (* op -> sample -> lhs word *)
+  b_values : int array array;
+}
+
+let build trace =
+  let dfg = Trace.dfg trace in
+  let n_ops = Dfg.op_count dfg in
+  let n_samples = Trace.length trace in
+  let a_values = Array.init n_ops (fun _ -> Array.make n_samples 0) in
+  let b_values = Array.init n_ops (fun _ -> Array.make n_samples 0) in
+  for s = 0 to n_samples - 1 do
+    let evals = Exec.eval_clean trace ~sample:s in
+    for id = 0 to n_ops - 1 do
+      a_values.(id).(s) <- evals.(id).Exec.a;
+      b_values.(id).(s) <- evals.(id).Exec.b
+    done
+  done;
+  { n_samples; a_values; b_values }
+
+let n_samples t = t.n_samples
+
+let operands t op ~sample = (t.a_values.(op).(sample), t.b_values.(op).(sample))
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let expected_input_hamming t op1 op2 =
+  let total = ref 0 in
+  for s = 0 to t.n_samples - 1 do
+    total :=
+      !total
+      + popcount (t.a_values.(op1).(s) lxor t.a_values.(op2).(s))
+      + popcount (t.b_values.(op1).(s) lxor t.b_values.(op2).(s))
+  done;
+  float_of_int !total /. float_of_int t.n_samples

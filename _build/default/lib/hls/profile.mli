@@ -1,0 +1,23 @@
+(** Operand-value profiles of a DFG over its typical trace.
+
+    Power-aware binding [19] and the switching-rate overhead model need
+    the actual operand words each operation sees per trace sample (the
+    "knowledge of the IC's input space" of Sec. II-B). A profile is
+    that table, computed once per (DFG, trace) pair. *)
+
+type t
+
+val build : Rb_sim.Trace.t -> t
+(** Golden-simulate the whole trace and tabulate per-operation operand
+    words. *)
+
+val n_samples : t -> int
+
+val operands : t -> Rb_dfg.Dfg.op_id -> sample:int -> int * int
+(** The (lhs, rhs) words operation [op] consumed in [sample]. *)
+
+val expected_input_hamming : t -> Rb_dfg.Dfg.op_id -> Rb_dfg.Dfg.op_id -> float
+(** Mean Hamming distance between the operand pairs of two operations
+    across samples — the expected bit toggles on an FU's input ports if
+    the second operation executes right after the first on the same
+    unit. Symmetric. *)

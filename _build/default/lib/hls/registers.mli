@@ -1,0 +1,26 @@
+(** Register-count cost model — the area proxy of Fig. 6 (top).
+
+    The comparison binder [20] minimizes register count, so overhead is
+    measured in registers. Model: each FU owns one local feedback
+    register; an operation result whose consumers all execute on the
+    producing FU may occupy that register (one value at a time, greedy
+    by birth), while values with cross-FU consumers or feeding a
+    primary output live in the shared register file from birth to last
+    use. The shared file's size is the maximum lifetime overlap, which
+    the left-edge algorithm achieves exactly. Bindings that keep
+    producer-consumer chains on one FU (area-aware) need fewer shared
+    registers than bindings that scatter them (security-aware) —
+    the effect the paper quantifies at ~4.7 registers. *)
+
+val count : Binding.t -> int
+(** Shared registers needed by a binding under the feedback-register
+    model. *)
+
+val value_lifetimes : Binding.t -> (Rb_dfg.Dfg.op_id * int * int) list
+(** Per value: (producer op, birth cycle, death cycle) where death is
+    the last cycle a consumer (or the output interface) reads it.
+    Exposed for tests and reports. *)
+
+val latch_resident_values : Binding.t -> Rb_dfg.Dfg.op_id list
+(** Values assigned to FU-local feedback registers under the binding
+    (never needing the shared file), in allocation order. *)

@@ -1,0 +1,1 @@
+lib/locking/config.ml: Format Int List Rb_dfg Resilience Scheme

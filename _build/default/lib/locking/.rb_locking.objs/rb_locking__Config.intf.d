@@ -1,0 +1,1 @@
+lib/locking/config.mli: Format Rb_dfg Scheme

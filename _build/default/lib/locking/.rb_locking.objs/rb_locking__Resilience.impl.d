@@ -1,0 +1,1 @@
+lib/locking/resilience.ml: Float

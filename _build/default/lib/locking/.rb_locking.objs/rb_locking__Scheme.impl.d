@@ -1,0 +1,1 @@
+lib/locking/scheme.ml: Float Format

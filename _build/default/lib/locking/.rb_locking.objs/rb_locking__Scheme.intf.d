@@ -1,0 +1,1 @@
+lib/locking/scheme.mli: Format

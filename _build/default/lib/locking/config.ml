@@ -1,0 +1,73 @@
+module Minterm = Rb_dfg.Minterm
+module Word = Rb_dfg.Word
+
+type t = {
+  scheme : Scheme.t;
+  locks : (int * Minterm.Set.t) list; (* ascending fu id *)
+}
+
+let make ~scheme ~locks =
+  if not (Scheme.static_locked_inputs scheme) then
+    invalid_arg "Config.make: scheme lacks static locked inputs";
+  let fus = List.map fst locks in
+  let sorted = List.sort_uniq Int.compare fus in
+  if List.length sorted <> List.length fus then invalid_arg "Config.make: duplicate FU";
+  List.iter (fun fu -> if fu < 0 then invalid_arg "Config.make: negative FU id") fus;
+  let locks =
+    List.map
+      (fun (fu, ms) ->
+        if ms = [] then invalid_arg "Config.make: empty minterm list";
+        (fu, Minterm.Set.of_list ms))
+      locks
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  { scheme; locks }
+
+let scheme t = t.scheme
+
+let locked_fus t = List.map fst t.locks
+
+let minterms_of t fu =
+  match List.assoc_opt fu t.locks with
+  | Some set -> set
+  | None -> Minterm.Set.empty
+
+let is_locked_input t ~fu m = Minterm.Set.mem m (minterms_of t fu)
+
+let total_locked_minterms t =
+  List.fold_left (fun acc (_, set) -> acc + Minterm.Set.cardinal set) 0 t.locks
+
+let corrupt output = output lxor 1
+
+let key_bits_per_fu t ~input_bits =
+  let max_minterms =
+    List.fold_left (fun acc (_, set) -> max acc (Minterm.Set.cardinal set)) 0 t.locks
+  in
+  Scheme.key_bits t.scheme ~minterms:max_minterms ~input_bits
+
+let lambda_per_fu t =
+  let input_bits = 2 * Word.width in
+  List.fold_left
+    (fun acc (_, set) ->
+      let minterms = Minterm.Set.cardinal set in
+      let key_bits = Scheme.key_bits t.scheme ~minterms ~input_bits in
+      let l = Resilience.lambda_minterms ~key_bits ~correct_keys:1 ~input_bits ~minterms in
+      min acc l)
+    infinity t.locks
+
+let with_minterms t locks = make ~scheme:t.scheme ~locks
+
+let pp fmt t =
+  Format.fprintf fmt "%s:" (Scheme.name t.scheme);
+  List.iter
+    (fun (fu, set) ->
+      Format.fprintf fmt " FU%d{" fu;
+      let first = ref true in
+      Minterm.Set.iter
+        (fun m ->
+          if not !first then Format.pp_print_char fmt ' ';
+          first := false;
+          Minterm.pp fmt m)
+        set;
+      Format.pp_print_char fmt '}')
+    t.locks

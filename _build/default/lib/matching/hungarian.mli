@@ -1,0 +1,28 @@
+(** Optimal assignment on weighted bipartite graphs.
+
+    Every binding algorithm in this library — the paper's
+    obfuscation-aware binding (Sec. IV-B) as well as the area-aware [20]
+    and power-aware [19] baselines — reduces one clock cycle of binding
+    to an assignment problem: match each of the cycle's operations
+    (rows) to a distinct functional unit (columns) optimizing the sum of
+    edge weights. The paper invokes Karp's O(mn log n) matching [23];
+    we implement the classical O(n^2 m) Hungarian algorithm with
+    potentials, which is exact and comfortably fast at HLS sizes
+    (|rows| <= |cols| <= a few dozen).
+
+    Matrices are rectangular with [rows <= cols]; every row is
+    assigned, columns may be left unassigned. *)
+
+val min_cost_assignment : float array array -> int array
+(** [min_cost_assignment cost] returns [assign] with [assign.(r)] the
+    column matched to row [r], minimizing the total cost. All rows must
+    have the same positive length [cols >= rows]. Raises
+    [Invalid_argument] on a ragged or over-tall matrix. *)
+
+val max_weight_assignment : float array array -> int array
+(** Same matching, maximizing the total weight (implemented by
+    negation; weights may be any finite float). *)
+
+val assignment_weight : float array array -> int array -> float
+(** [assignment_weight w assign] is the total weight of an assignment,
+    a convenience for checking optima in tests and reports. *)

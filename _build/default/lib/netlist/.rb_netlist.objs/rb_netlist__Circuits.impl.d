@@ -1,0 +1,1 @@
+lib/netlist/circuits.ml: Array Netlist Rb_dfg

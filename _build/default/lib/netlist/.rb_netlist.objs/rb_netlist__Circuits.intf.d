@@ -1,0 +1,1 @@
+lib/netlist/circuits.mli: Netlist Rb_dfg

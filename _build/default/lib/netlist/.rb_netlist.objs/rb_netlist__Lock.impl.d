@@ -1,0 +1,1 @@
+lib/netlist/lock.ml: Array Circuits Fun Hashtbl Int List Netlist Printf Rb_util

@@ -1,0 +1,1 @@
+lib/netlist/lock.mli: Netlist Rb_util

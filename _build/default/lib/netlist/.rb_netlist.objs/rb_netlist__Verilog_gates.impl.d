@@ -1,0 +1,1 @@
+lib/netlist/verilog_gates.ml: Array Buffer List Netlist Printf String

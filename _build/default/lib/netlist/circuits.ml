@@ -1,0 +1,71 @@
+module B = Netlist.Builder
+
+type bits = Netlist.net array
+
+let check_same_width a b name =
+  if Array.length a <> Array.length b then invalid_arg name;
+  if Array.length a = 0 then invalid_arg name
+
+(* Full adder chain; the final carry is dropped (wrapping semantics,
+   matching Word.add). *)
+let ripple_add b x y =
+  check_same_width x y "Circuits.ripple_add";
+  let width = Array.length x in
+  let sum = Array.make width 0 in
+  let carry = ref (B.const b false) in
+  for i = 0 to width - 1 do
+    let axb = B.xor_ b x.(i) y.(i) in
+    sum.(i) <- B.xor_ b axb !carry;
+    (* The last carry-out is dropped (wrapping semantics); emitting its
+       logic would create dead gates, which key-gate insertion must not
+       land on. *)
+    if i < width - 1 then begin
+      let gen = B.and_ b x.(i) y.(i) in
+      let prop = B.and_ b axb !carry in
+      carry := B.or_ b gen prop
+    end
+  done;
+  sum
+
+let array_multiply b x y =
+  check_same_width x y "Circuits.array_multiply";
+  let width = Array.length x in
+  let zero = B.const b false in
+  let row j =
+    (* Partial product x * y_j, shifted left by j, truncated to width. *)
+    Array.init width (fun i -> if i < j then zero else B.and_ b x.(i - j) y.(j))
+  in
+  let acc = ref (row 0) in
+  for j = 1 to width - 1 do
+    acc := ripple_add b !acc (row j)
+  done;
+  !acc
+
+let equals_const b x c =
+  let matches =
+    Array.to_list
+      (Array.mapi (fun i net -> if (c lsr i) land 1 = 1 then net else B.not_ b net) x)
+  in
+  B.and_reduce b matches
+
+let equals_bits b x y =
+  check_same_width x y "Circuits.equals_bits";
+  let matches = Array.to_list (Array.map2 (fun a c -> B.xnor_ b a c) x y) in
+  B.and_reduce b matches
+
+let binary_unit ~width f =
+  if width <= 0 then invalid_arg "Circuits: width must be positive";
+  let b = B.create ~n_inputs:(2 * width) ~n_keys:0 in
+  let x = Array.init width (fun i -> B.input b i) in
+  let y = Array.init width (fun i -> B.input b (width + i)) in
+  let out = f b x y in
+  Array.iter (fun n -> B.output b n) out;
+  B.finish b
+
+let adder ~width = binary_unit ~width ripple_add
+let multiplier ~width = binary_unit ~width array_multiply
+
+let of_kind kind ~width =
+  match (kind : Rb_dfg.Dfg.op_kind) with
+  | Add -> adder ~width
+  | Mul -> multiplier ~width

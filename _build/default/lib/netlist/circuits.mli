@@ -1,0 +1,33 @@
+(** Structural generators for the arithmetic units the paper locks.
+
+    The benchmarks bind adders and multipliers (Sec. VI); these
+    generators produce their gate-level implementations, both as
+    standalone netlists (for SAT-attack experiments) and as bit-vector
+    combinators over a {!Netlist.Builder} (so locking constructions can
+    embed them). *)
+
+type bits = Netlist.net array
+(** A little-endian bit vector of nets. *)
+
+val ripple_add : Netlist.Builder.t -> bits -> bits -> bits
+(** Wrapping ripple-carry sum of two equal-width vectors. *)
+
+val array_multiply : Netlist.Builder.t -> bits -> bits -> bits
+(** Low [width] bits of the product of two equal-width vectors
+    (carry-save array of AND partial products + ripple rows). *)
+
+val equals_const : Netlist.Builder.t -> bits -> int -> Netlist.net
+(** Net that is true iff the vector equals a constant (LSB first). *)
+
+val equals_bits : Netlist.Builder.t -> bits -> bits -> Netlist.net
+(** Net that is true iff two equal-width vectors match. *)
+
+val adder : width:int -> Netlist.t
+(** Standalone unlocked adder: inputs [a0..a(w-1) b0..b(w-1)], outputs
+    the wrapping sum. *)
+
+val multiplier : width:int -> Netlist.t
+(** Standalone unlocked multiplier (low [width] product bits). *)
+
+val of_kind : Rb_dfg.Dfg.op_kind -> width:int -> Netlist.t
+(** The unit implementing a DFG operation kind. *)

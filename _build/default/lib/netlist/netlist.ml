@@ -1,0 +1,167 @@
+type net = int
+
+type gate =
+  | And of net * net
+  | Or of net * net
+  | Xor of net * net
+  | Nand of net * net
+  | Nor of net * net
+  | Xnor of net * net
+  | Not of net
+  | Buf of net
+  | Mux of net * net * net
+  | Const of bool
+
+type t = {
+  n_inputs : int;
+  n_keys : int;
+  gates : gate array;
+  outputs : net array;
+}
+
+let n_inputs c = c.n_inputs
+let n_keys c = c.n_keys
+let n_gates c = Array.length c.gates
+let n_nets c = c.n_inputs + c.n_keys + Array.length c.gates
+let gates c = c.gates
+let outputs c = c.outputs
+
+let input_net c i =
+  if i < 0 || i >= c.n_inputs then invalid_arg "Netlist.input_net";
+  i
+
+let key_net c i =
+  if i < 0 || i >= c.n_keys then invalid_arg "Netlist.key_net";
+  c.n_inputs + i
+
+let gate_fanin = function
+  | And (a, b) | Or (a, b) | Xor (a, b) | Nand (a, b) | Nor (a, b) | Xnor (a, b) ->
+    [ a; b ]
+  | Not a | Buf a -> [ a ]
+  | Mux (s, a, b) -> [ s; a; b ]
+  | Const _ -> []
+
+let eval c ~inputs ~keys =
+  if Array.length inputs <> c.n_inputs then invalid_arg "Netlist.eval: input width";
+  if Array.length keys <> c.n_keys then invalid_arg "Netlist.eval: key width";
+  let values = Array.make (n_nets c) false in
+  Array.blit inputs 0 values 0 c.n_inputs;
+  Array.blit keys 0 values c.n_inputs c.n_keys;
+  let base = c.n_inputs + c.n_keys in
+  Array.iteri
+    (fun i g ->
+      let v =
+        match g with
+        | And (a, b) -> values.(a) && values.(b)
+        | Or (a, b) -> values.(a) || values.(b)
+        | Xor (a, b) -> values.(a) <> values.(b)
+        | Nand (a, b) -> not (values.(a) && values.(b))
+        | Nor (a, b) -> not (values.(a) || values.(b))
+        | Xnor (a, b) -> values.(a) = values.(b)
+        | Not a -> not values.(a)
+        | Buf a -> values.(a)
+        | Mux (s, a, b) -> if values.(s) then values.(b) else values.(a)
+        | Const v -> v
+      in
+      values.(base + i) <- v)
+    c.gates;
+  Array.map (fun o -> values.(o)) c.outputs
+
+let eval_words c ~inputs ~keys =
+  let unpack n width = Array.init width (fun i -> (n lsr i) land 1 = 1) in
+  let out = eval c ~inputs:(unpack inputs c.n_inputs) ~keys:(unpack keys c.n_keys) in
+  Array.to_list out
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( lor ) 0
+
+let fanin_cone_size c root =
+  let base = c.n_inputs + c.n_keys in
+  let seen = Hashtbl.create 64 in
+  let rec visit n =
+    if n >= base && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      List.iter visit (gate_fanin c.gates.(n - base))
+    end
+  in
+  visit root;
+  Hashtbl.length seen
+
+let pp_stats fmt c =
+  Format.fprintf fmt "%d inputs, %d keys, %d gates, %d outputs" c.n_inputs c.n_keys
+    (Array.length c.gates) (Array.length c.outputs)
+
+module Builder = struct
+  type b = {
+    n_inputs : int;
+    n_keys : int;
+    mutable rev_gates : gate list;
+    mutable n_gates : int;
+    mutable rev_outputs : net list;
+  }
+
+  type t = b
+
+  let create ~n_inputs ~n_keys =
+    if n_inputs < 0 || n_keys < 0 then invalid_arg "Netlist.Builder.create";
+    { n_inputs; n_keys; rev_gates = []; n_gates = 0; rev_outputs = [] }
+
+  let input b i =
+    if i < 0 || i >= b.n_inputs then invalid_arg "Netlist.Builder.input";
+    i
+
+  let key b i =
+    if i < 0 || i >= b.n_keys then invalid_arg "Netlist.Builder.key";
+    b.n_inputs + i
+
+  let next_net b = b.n_inputs + b.n_keys + b.n_gates
+
+  let check_net b n =
+    if n < 0 || n >= next_net b then invalid_arg "Netlist.Builder: undefined net"
+
+  let gate b g =
+    List.iter (check_net b)
+      (match g with
+       | And (x, y) | Or (x, y) | Xor (x, y) | Nand (x, y) | Nor (x, y) | Xnor (x, y) ->
+         [ x; y ]
+       | Not x | Buf x -> [ x ]
+       | Mux (s, x, y) -> [ s; x; y ]
+       | Const _ -> []);
+    let n = next_net b in
+    b.rev_gates <- g :: b.rev_gates;
+    b.n_gates <- b.n_gates + 1;
+    n
+
+  let not_ b a = gate b (Not a)
+  let and_ b a c = gate b (And (a, c))
+  let or_ b a c = gate b (Or (a, c))
+  let xor_ b a c = gate b (Xor (a, c))
+  let xnor_ b a c = gate b (Xnor (a, c))
+  let mux b ~sel ~a ~b:b_net = gate b (Mux (sel, a, b_net))
+  let const b v = gate b (Const v)
+
+  let rec reduce combine b = function
+    | [] -> invalid_arg "Netlist.Builder: empty reduction"
+    | [ n ] -> n
+    | nets ->
+      let rec pair = function
+        | [] -> []
+        | [ n ] -> [ n ]
+        | a :: c :: rest -> combine b a c :: pair rest
+      in
+      reduce combine b (pair nets)
+
+  let and_reduce b nets = reduce and_ b nets
+  let or_reduce b nets = reduce or_ b nets
+
+  let output b n =
+    check_net b n;
+    b.rev_outputs <- n :: b.rev_outputs
+
+  let finish b =
+    {
+      n_inputs = b.n_inputs;
+      n_keys = b.n_keys;
+      gates = Array.of_list (List.rev b.rev_gates);
+      outputs = Array.of_list (List.rev b.rev_outputs);
+    }
+end

@@ -1,0 +1,90 @@
+(** Gate-level combinational netlists.
+
+    Logic locking acts on the gate-level implementation of a functional
+    unit (Sec. II-A); the SAT attack [10] acts on the same
+    representation through a CNF encoding. This module provides the
+    shared circuit type: a flat array of two-input gates over an
+    indexed set of nets, with primary inputs first, key inputs second,
+    and one net driven per gate.
+
+    Nets are identified by dense integers: nets [0 .. n_inputs-1] are
+    primary inputs, [n_inputs .. n_inputs+n_keys-1] are key inputs, and
+    gate [i] drives net [n_inputs + n_keys + i]. *)
+
+type net = int
+
+type gate =
+  | And of net * net
+  | Or of net * net
+  | Xor of net * net
+  | Nand of net * net
+  | Nor of net * net
+  | Xnor of net * net
+  | Not of net
+  | Buf of net
+  | Mux of net * net * net
+      (** [Mux (sel, a, b)] is [a] when [sel] is false, [b] otherwise *)
+  | Const of bool
+
+type t
+
+val n_inputs : t -> int
+val n_keys : t -> int
+val n_gates : t -> int
+val n_nets : t -> int
+val gates : t -> gate array
+val outputs : t -> net array
+
+val input_net : t -> int -> net
+(** [input_net c i] is the net of primary input [i]. *)
+
+val key_net : t -> int -> net
+(** [key_net c i] is the net of key input [i]. *)
+
+val eval : t -> inputs:bool array -> keys:bool array -> bool array
+(** Simulate the circuit; returns output values in declaration order.
+    Raises [Invalid_argument] on width mismatches. *)
+
+val eval_words : t -> inputs:int -> keys:int -> int
+(** Word-level convenience: bit [i] of [inputs]/[keys] feeds input/key
+    [i] (LSB first); the result packs the outputs the same way. Only
+    valid for circuits with at most 62 inputs, keys and outputs. *)
+
+val fanin_cone_size : t -> net -> int
+(** Number of gates in the transitive fan-in of a net; a crude area
+    proxy used by overhead reports. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: inputs/keys/gates/outputs. *)
+
+(** Imperative netlist construction. *)
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : n_inputs:int -> n_keys:int -> t
+  val input : t -> int -> net
+  val key : t -> int -> net
+  val gate : t -> gate -> net
+  (** Append a gate; returns the net it drives. Operand nets must
+      already exist. *)
+
+  val not_ : t -> net -> net
+  val and_ : t -> net -> net -> net
+  val or_ : t -> net -> net -> net
+  val xor_ : t -> net -> net -> net
+  val xnor_ : t -> net -> net -> net
+  val mux : t -> sel:net -> a:net -> b:net -> net
+  val const : t -> bool -> net
+
+  val and_reduce : t -> net list -> net
+  (** Conjunction of a non-empty list of nets (balanced tree). *)
+
+  val or_reduce : t -> net list -> net
+  (** Disjunction of a non-empty list of nets (balanced tree). *)
+
+  val output : t -> net -> unit
+  (** Declare an output, in call order. *)
+
+  val finish : t -> netlist
+end

@@ -1,0 +1,12 @@
+(** Structural Verilog emission of gate-level netlists.
+
+    Renders a (possibly locked) combinational netlist as a flat
+    gate-level Verilog module — one wire per net, one primitive
+    expression per gate, key inputs as an explicit port vector — so a
+    locked FU produced by {!Lock} can be inspected or synthesized by
+    external tools. Emission is deterministic. *)
+
+val emit : ?module_name:string -> Netlist.t -> string
+(** Render the netlist ([module_name] defaults to ["netlist"]).
+    Ports: [in_i] per primary input, a [key] vector when the circuit
+    has key inputs, [out_i] per output. *)

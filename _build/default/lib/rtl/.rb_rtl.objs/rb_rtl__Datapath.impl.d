@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Array Format Hashtbl Int List Option Printf Rb_dfg Rb_hls Rb_sched

@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Format Rb_dfg Rb_hls

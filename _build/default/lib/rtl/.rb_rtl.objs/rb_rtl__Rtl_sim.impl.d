@@ -1,0 +1,1 @@
+lib/rtl/rtl_sim.ml: Array Datapath List Printf Rb_dfg Rb_hls Rb_sched Rb_sim

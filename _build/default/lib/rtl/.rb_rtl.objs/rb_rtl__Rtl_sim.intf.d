@@ -1,0 +1,1 @@
+lib/rtl/rtl_sim.mli: Datapath Rb_sim

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Buffer Datapath Float List Option Printf Rb_dfg Rb_hls Rb_sched String

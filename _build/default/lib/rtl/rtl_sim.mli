@@ -1,0 +1,18 @@
+(** Cycle-accurate simulation of a constructed datapath.
+
+    Drives the control schedule of a {!Datapath.t} one clock cycle at a
+    time — reading FU operand ports through their selected sources,
+    latching FU outputs, committing register-file writes at cycle
+    boundaries — and returns each operation's computed result. Agreement
+    with the dataflow executor {!Rb_sim.Exec.eval_clean} is the
+    end-to-end proof that binding, register allocation and mux wiring
+    preserve the kernel's semantics; {!check_trace} asserts it over a
+    whole workload. *)
+
+val run : Datapath.t -> Rb_sim.Trace.t -> sample:int -> int array
+(** Simulate one sample; index the result by operation id. Raises
+    [Invalid_argument] if the trace wraps a different DFG. *)
+
+val check_trace : Datapath.t -> Rb_sim.Trace.t -> (unit, string) result
+(** Compare {!run} against {!Rb_sim.Exec.eval_clean} on every sample;
+    the error names the first mismatching (sample, op). *)

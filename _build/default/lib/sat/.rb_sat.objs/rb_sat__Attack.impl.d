@@ -1,0 +1,1 @@
+lib/sat/attack.ml: Array List Rb_netlist Rb_util Solver Tseitin

@@ -1,0 +1,1 @@
+lib/sat/attack.mli: Rb_netlist

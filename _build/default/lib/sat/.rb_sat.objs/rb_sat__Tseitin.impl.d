@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array List Rb_netlist Solver

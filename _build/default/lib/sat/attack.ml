@@ -1,0 +1,164 @@
+module Netlist = Rb_netlist.Netlist
+module Lock = Rb_netlist.Lock
+module Rng = Rb_util.Rng
+
+type outcome =
+  | Broken of { key : bool array; iterations : int }
+  | Budget_exceeded of { iterations : int }
+
+(* Force at least one pair of corresponding outputs to differ: for each
+   output pair (a, b) introduce d with d -> (a xor b), and require
+   "some d". The reverse implication is unnecessary for a miter. *)
+let add_miter_difference solver (a : Tseitin.instance) (b : Tseitin.instance) =
+  let n = Array.length a.output_vars in
+  let diffs =
+    Array.init n (fun i ->
+        let d = Solver.new_var solver in
+        let x = a.output_vars.(i) and y = b.output_vars.(i) in
+        Solver.add_clause solver [ -d; x; y ];
+        Solver.add_clause solver [ -d; -x; -y ];
+        d)
+  in
+  Solver.add_clause solver (Array.to_list diffs)
+
+type miter = {
+  solver : Solver.t;
+  copy_a : Tseitin.instance;
+  copy_b : Tseitin.instance;
+  locked : Netlist.t;
+  mutable history : (bool array * bool array) list;
+}
+
+let new_miter locked =
+  let solver = Solver.create () in
+  let copy_a = Tseitin.encode solver locked in
+  let copy_b = Tseitin.encode solver locked ~input_vars:copy_a.Tseitin.input_vars in
+  add_miter_difference solver copy_a copy_b;
+  { solver; copy_a; copy_b; locked; history = [] }
+
+(* Record one oracle observation: both key copies must reproduce it. *)
+let add_io_pair m inputs response =
+  m.history <- (inputs, response) :: m.history;
+  List.iter
+    (fun key_vars ->
+      let inst = Tseitin.encode m.solver m.locked ~key_vars in
+      Tseitin.constrain_inputs m.solver inst inputs;
+      Tseitin.constrain_outputs m.solver inst response)
+    [ m.copy_a.Tseitin.key_vars; m.copy_b.Tseitin.key_vars ]
+
+(* Any key consistent with every recorded I/O pair, from a clean
+   solver. The correct key satisfies all pairs, so this never fails for
+   a well-formed oracle. *)
+let extract_key m =
+  let key_solver = Solver.create () in
+  let model = Tseitin.encode key_solver m.locked in
+  List.iter
+    (fun (inputs, response) ->
+      let inst = Tseitin.encode key_solver m.locked ~key_vars:model.Tseitin.key_vars in
+      Tseitin.constrain_inputs key_solver inst inputs;
+      Tseitin.constrain_outputs key_solver inst response)
+    m.history;
+  match Solver.solve key_solver with
+  | Sat ->
+    Array.init (Netlist.n_keys m.locked) (fun i ->
+        Solver.value key_solver model.Tseitin.key_vars.(i))
+  | Unsat -> assert false
+
+let run ?(max_iterations = 100_000) ~oracle ~locked () =
+  let m = new_miter locked in
+  let n_in = Netlist.n_inputs locked in
+  let rec attack_loop iterations =
+    if iterations >= max_iterations then Budget_exceeded { iterations }
+    else
+      match Solver.solve m.solver with
+      | Unsat -> Broken { key = extract_key m; iterations }
+      | Sat ->
+        let dip =
+          Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))
+        in
+        add_io_pair m dip (oracle dip);
+        attack_loop (iterations + 1)
+  in
+  attack_loop 0
+
+let attack_locked ?max_iterations (locked : Lock.locked) =
+  let oracle inputs =
+    Netlist.eval locked.circuit ~inputs ~keys:locked.correct_key
+  in
+  run ?max_iterations ~oracle ~locked:locked.circuit ()
+
+let key_is_correct (locked : Lock.locked) candidate =
+  let c = locked.circuit in
+  let n_in = Netlist.n_inputs c in
+  if n_in > 20 then invalid_arg "Attack.key_is_correct: input space too large";
+  let pack k =
+    Array.to_list k
+    |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+    |> List.fold_left ( lor ) 0
+  in
+  let golden = pack locked.correct_key and cand = pack candidate in
+  let rec sweep x =
+    if x < 0 then true
+    else if
+      Netlist.eval_words c ~inputs:x ~keys:golden
+      <> Netlist.eval_words c ~inputs:x ~keys:cand
+    then false
+    else sweep (x - 1)
+  in
+  sweep ((1 lsl n_in) - 1)
+
+type approximate_outcome = {
+  key : bool array;
+  dip_iterations : int;
+  random_queries : int;
+  converged : bool;
+  estimated_error_rate : float;
+}
+
+let approximate ?(dip_budget = 30) ?(queries_per_round = 16) ?(estimate_samples = 2000)
+    ?(seed = 97) (locked : Lock.locked) =
+  let oracle inputs =
+    Netlist.eval locked.Lock.circuit ~inputs ~keys:locked.Lock.correct_key
+  in
+  let circuit = locked.Lock.circuit in
+  let n_in = Netlist.n_inputs circuit in
+  let rng = Rng.create seed in
+  let random_inputs () = Array.init n_in (fun _ -> Rng.bool rng) in
+  let m = new_miter circuit in
+  let queries = ref 0 in
+  (* AppSAT-style: interleave DIP refinement with random oracle
+     queries, which prune approximately-wrong keys that exact DIPs
+     would take exponentially long to reach. *)
+  let rec loop iterations =
+    if iterations >= dip_budget then (iterations, false)
+    else
+      match Solver.solve m.solver with
+      | Unsat -> (iterations, true)
+      | Sat ->
+        let dip =
+          Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))
+        in
+        add_io_pair m dip (oracle dip);
+        if (iterations + 1) mod 5 = 0 then
+          for _ = 1 to queries_per_round do
+            incr queries;
+            let inputs = random_inputs () in
+            add_io_pair m inputs (oracle inputs)
+          done;
+        loop (iterations + 1)
+  in
+  let dip_iterations, converged = loop 0 in
+  let key = extract_key m in
+  (* Estimate the residual wrong-output rate of the extracted key. *)
+  let errors = ref 0 in
+  for _ = 1 to estimate_samples do
+    let inputs = random_inputs () in
+    if Netlist.eval circuit ~inputs ~keys:key <> oracle inputs then incr errors
+  done;
+  {
+    key;
+    dip_iterations;
+    random_queries = !queries;
+    converged;
+    estimated_error_rate = float_of_int !errors /. float_of_int estimate_samples;
+  }

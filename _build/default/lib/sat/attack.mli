@@ -1,0 +1,70 @@
+(** The oracle-guided SAT attack on logic locking.
+
+    Implements Subramanyan et al.'s algorithm [10], the threat model of
+    the entire paper: the attacker holds the locked netlist (from the
+    GDSII) and black-box access to an activated chip (the oracle, which
+    the scan-chain assumption extends to every locked module).
+
+    The attack builds a miter of two locked-circuit copies with shared
+    primary inputs and independent keys. While the miter is
+    satisfiable, the model yields a {e distinguishing input pattern}
+    (DIP); the oracle's response on that DIP is added as an I/O
+    constraint on both key copies, pruning every key that disagrees.
+    When the miter becomes unsatisfiable, any key consistent with all
+    recorded I/O pairs is functionally correct, and the number of
+    iterations measures the scheme's resilience — the quantity paper
+    Eqn. 1 lower-bounds. *)
+
+type outcome =
+  | Broken of { key : bool array; iterations : int }
+      (** the recovered key and the number of DIP iterations *)
+  | Budget_exceeded of { iterations : int }
+      (** iteration budget exhausted before convergence *)
+
+val run :
+  ?max_iterations:int ->
+  oracle:(bool array -> bool array) ->
+  locked:Rb_netlist.Netlist.t ->
+  unit ->
+  outcome
+(** [run ~oracle ~locked ()] attacks a locked netlist. [oracle] maps a
+    primary-input assignment to the activated chip's outputs.
+    [max_iterations] defaults to 100_000. The returned key is verified
+    internally against all recorded DIPs; callers typically verify it
+    exhaustively against the oracle in tests. *)
+
+val attack_locked : ?max_iterations:int -> Rb_netlist.Lock.locked -> outcome
+(** Convenience: attack a {!Rb_netlist.Lock.locked} construction using
+    its own correct key to answer oracle queries (the usual
+    experimental setup, where the attacker's chip is simulated). *)
+
+val key_is_correct : Rb_netlist.Lock.locked -> bool array -> bool
+(** Exhaustively check functional equivalence of a candidate key
+    against the construction's correct key (inputs <= 20 bits). *)
+
+(** Result of the approximate (AppSAT-style) attack. *)
+type approximate_outcome = {
+  key : bool array;  (** best key consistent with everything observed *)
+  dip_iterations : int;  (** exact DIPs spent *)
+  random_queries : int;  (** random oracle queries injected *)
+  converged : bool;  (** true if the miter went UNSAT within budget *)
+  estimated_error_rate : float;
+      (** sampled wrong-output rate of [key] vs the oracle *)
+}
+
+val approximate :
+  ?dip_budget:int ->
+  ?queries_per_round:int ->
+  ?estimate_samples:int ->
+  ?seed:int ->
+  Rb_netlist.Lock.locked ->
+  approximate_outcome
+(** The approximate attack of Shamsi et al.'s impossibility result
+    [12] (AppSAT-style): interleave exact DIP refinement with batches
+    of random oracle queries and stop early, settling for an
+    {e approximately} correct key. Point-function locking survives the
+    exact attack by corrupting almost nothing — which is precisely why
+    an attacker content with a low error rate wins quickly. This is the
+    paper's motivation for needing {e application-level} corruption,
+    not just SAT iterations. Defaults: 30 DIPs, 16 random queries every
+    5 DIPs, 2000 estimation samples. *)

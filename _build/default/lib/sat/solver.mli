@@ -1,0 +1,56 @@
+(** A CDCL Boolean-satisfiability solver.
+
+    The SAT attack of Subramanyan et al. [10] — the resilience
+    yardstick for every locking decision in the paper — needs a SAT
+    solver with incremental clause addition. None is available in the
+    sealed environment, so this is a from-scratch conflict-driven
+    clause-learning solver: two-watched-literal propagation, first-UIP
+    conflict analysis with clause learning and non-chronological
+    backjumping, exponential-moving-average VSIDS branching, geometric
+    restarts, and phase saving. It comfortably handles the
+    miter-style instances produced by {!Attack} (tens of thousands of
+    clauses, hundreds of thousands of conflicts).
+
+    Literals follow the DIMACS convention: variables are positive
+    integers and a negative integer denotes negation. *)
+
+type t
+
+type result = Sat | Unsat
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate the next variable (1, 2, 3, ...). *)
+
+val new_vars : t -> int -> int
+(** [new_vars s n] allocates [n] variables and returns the first. *)
+
+val n_vars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause; literals over unallocated variables raise
+    [Invalid_argument]. Adding the empty clause (or only falsified
+    literals at level 0) makes the instance permanently unsatisfiable.
+    May be called between [solve] calls (incremental interface). *)
+
+val solve : ?assumptions:int list -> t -> result
+(** Decide satisfiability of the current clause set under optional
+    assumption literals. After [Sat], {!value} reads the model; after
+    [Unsat] with assumptions, the instance may still be satisfiable
+    under different assumptions. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer. Unconstrained
+    variables read their saved phase (false initially). *)
+
+val stats : t -> stats
+(** Cumulative search statistics. *)

@@ -1,0 +1,73 @@
+module Netlist = Rb_netlist.Netlist
+
+type instance = {
+  input_vars : int array;
+  key_vars : int array;
+  output_vars : int array;
+}
+
+let fresh_vars solver n = Array.init n (fun _ -> Solver.new_var solver)
+
+(* CNF clauses asserting z <-> gate(inputs), with [v] resolving net
+   variables. Shared by the solver encoding and the DIMACS export. *)
+let gate_clauses ~z ~v (g : Rb_netlist.Netlist.gate) =
+  match g with
+  | And (a, b) -> [ [ -z; v a ]; [ -z; v b ]; [ z; -(v a); -(v b) ] ]
+  | Nand (a, b) -> [ [ z; v a ]; [ z; v b ]; [ -z; -(v a); -(v b) ] ]
+  | Or (a, b) -> [ [ z; -(v a) ]; [ z; -(v b) ]; [ -z; v a; v b ] ]
+  | Nor (a, b) -> [ [ -z; -(v a) ]; [ -z; -(v b) ]; [ z; v a; v b ] ]
+  | Xor (a, b) ->
+    [ [ -z; v a; v b ]; [ -z; -(v a); -(v b) ]; [ z; -(v a); v b ]; [ z; v a; -(v b) ] ]
+  | Xnor (a, b) ->
+    [ [ z; v a; v b ]; [ z; -(v a); -(v b) ]; [ -z; -(v a); v b ]; [ -z; v a; -(v b) ] ]
+  | Not a -> [ [ -z; -(v a) ]; [ z; v a ] ]
+  | Buf a -> [ [ -z; v a ]; [ z; -(v a) ] ]
+  | Mux (s, a, b) ->
+    (* z = s ? b : a *)
+    [ [ -z; v s; v a ]; [ z; v s; -(v a) ]; [ -z; -(v s); v b ]; [ z; -(v s); -(v b) ] ]
+  | Const true -> [ [ z ] ]
+  | Const false -> [ [ -z ] ]
+
+let encode ?input_vars ?key_vars solver circuit =
+  let n_in = Netlist.n_inputs circuit in
+  let n_key = Netlist.n_keys circuit in
+  let input_vars =
+    match input_vars with
+    | None -> fresh_vars solver n_in
+    | Some v ->
+      if Array.length v <> n_in then invalid_arg "Tseitin.encode: input width";
+      v
+  in
+  let key_vars =
+    match key_vars with
+    | None -> fresh_vars solver n_key
+    | Some v ->
+      if Array.length v <> n_key then invalid_arg "Tseitin.encode: key width";
+      v
+  in
+  let n_nets = Netlist.n_nets circuit in
+  let var_of_net = Array.make n_nets 0 in
+  Array.blit input_vars 0 var_of_net 0 n_in;
+  Array.blit key_vars 0 var_of_net n_in n_key;
+  let base = n_in + n_key in
+  Array.iteri
+    (fun i g ->
+      let z = Solver.new_var solver in
+      var_of_net.(base + i) <- z;
+      let v n = var_of_net.(n) in
+      List.iter (Solver.add_clause solver) (gate_clauses ~z ~v g))
+    (Netlist.gates circuit);
+  let output_vars = Array.map (fun o -> var_of_net.(o)) (Netlist.outputs circuit) in
+  { input_vars; key_vars; output_vars }
+
+let pin solver vars values name =
+  if Array.length vars <> Array.length values then invalid_arg name;
+  Array.iteri
+    (fun i v -> Solver.add_clause solver [ (if values.(i) then v else -v) ])
+    vars
+
+let constrain_inputs solver inst values =
+  pin solver inst.input_vars values "Tseitin.constrain_inputs"
+
+let constrain_outputs solver inst values =
+  pin solver inst.output_vars values "Tseitin.constrain_outputs"

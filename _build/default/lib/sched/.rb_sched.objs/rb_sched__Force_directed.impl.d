@@ -1,0 +1,1 @@
+lib/sched/force_directed.ml: Array Fun List Option Rb_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/force_directed.mli: Rb_dfg Schedule

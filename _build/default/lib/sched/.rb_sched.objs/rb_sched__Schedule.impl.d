@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Format List Printf Rb_dfg

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Fun Hashtbl Int List Option Rb_dfg Schedule

@@ -1,0 +1,87 @@
+module Dfg = Rb_dfg.Dfg
+
+(* Time frames under partial fixing: ASAP/ALAP recomputed from the
+   operations already pinned. *)
+let frames dfg ~latency ~fixed =
+  let n = Dfg.op_count dfg in
+  let early = Array.make n 0 in
+  for id = 0 to n - 1 do
+    let lower =
+      List.fold_left (fun acc p -> max acc (early.(p) + 1)) 0 (Dfg.predecessors dfg id)
+    in
+    early.(id) <- (match fixed.(id) with Some c -> c | None -> lower)
+  done;
+  let late = Array.make n (latency - 1) in
+  for id = n - 1 downto 0 do
+    let upper =
+      List.fold_left (fun acc s -> min acc (late.(s) - 1)) (latency - 1)
+        (Dfg.successors dfg id)
+    in
+    late.(id) <- (match fixed.(id) with Some c -> c | None -> upper)
+  done;
+  (early, late)
+
+let schedule ?latency dfg =
+  let critical = Dfg.critical_path_length dfg in
+  let latency = Option.value latency ~default:critical in
+  if latency < critical then invalid_arg "Force_directed.schedule: latency too small";
+  let n = Dfg.op_count dfg in
+  let fixed : int option array = Array.make n None in
+  (* Distribution graph for one kind under the current frames. *)
+  let distribution early late kind =
+    let dg = Array.make latency 0.0 in
+    for id = 0 to n - 1 do
+      if (Dfg.op dfg id).Dfg.kind = kind then begin
+        let width = late.(id) - early.(id) + 1 in
+        let p = 1.0 /. float_of_int width in
+        for c = early.(id) to late.(id) do
+          dg.(c) <- dg.(c) +. p
+        done
+      end
+    done;
+    dg
+  in
+  (* Self force of pinning [id] at cycle [c]: how much more crowded the
+     distribution graph becomes, relative to the op's current spread. *)
+  let self_force dg early late id c =
+    let width = late.(id) - early.(id) + 1 in
+    let p = 1.0 /. float_of_int width in
+    let force = ref 0.0 in
+    for t = early.(id) to late.(id) do
+      let delta = (if t = c then 1.0 else 0.0) -. p in
+      force := !force +. (dg.(t) *. delta)
+    done;
+    !force
+  in
+  let remaining = ref (List.init n Fun.id) in
+  while !remaining <> [] do
+    let early, late = frames dfg ~latency ~fixed in
+    let dg_add = distribution early late Dfg.Add in
+    let dg_mul = distribution early late Dfg.Mul in
+    (* Pick the (op, cycle) with minimum force among unscheduled ops;
+       ties resolve to the earliest cycle and smallest id for
+       determinism. *)
+    let best = ref None in
+    List.iter
+      (fun id ->
+        let dg = match (Dfg.op dfg id).Dfg.kind with Dfg.Add -> dg_add | Dfg.Mul -> dg_mul in
+        for c = early.(id) to late.(id) do
+          let f = self_force dg early late id c in
+          let better =
+            match !best with
+            | None -> true
+            | Some (bf, bid, bc) ->
+              f < bf -. 1e-12
+              || (abs_float (f -. bf) <= 1e-12 && (c < bc || (c = bc && id < bid)))
+          in
+          if better then best := Some (f, id, c)
+        done)
+      !remaining;
+    (match !best with
+     | None -> assert false
+     | Some (_, id, c) ->
+       fixed.(id) <- Some c;
+       remaining := List.filter (fun x -> x <> id) !remaining)
+  done;
+  let cycle_of = Array.map (function Some c -> c | None -> assert false) fixed in
+  Schedule.make dfg ~cycle_of

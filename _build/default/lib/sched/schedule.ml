@@ -1,0 +1,45 @@
+module Dfg = Rb_dfg.Dfg
+
+type t = { dfg : Dfg.t; cycle_of : int array; n_cycles : int }
+
+let make dfg ~cycle_of =
+  if Array.length cycle_of <> Dfg.op_count dfg then
+    invalid_arg "Schedule.make: cycle array length mismatch";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Schedule.make: negative cycle") cycle_of;
+  let n_cycles = 1 + Array.fold_left max 0 cycle_of in
+  { dfg; cycle_of = Array.copy cycle_of; n_cycles }
+
+let dfg t = t.dfg
+let cycle_of t id = t.cycle_of.(id)
+let n_cycles t = t.n_cycles
+
+let ops_in_cycle t kind cycle =
+  Dfg.ops_of_kind t.dfg kind |> List.filter (fun id -> t.cycle_of.(id) = cycle)
+
+let max_concurrency t kind =
+  let counts = Array.make t.n_cycles 0 in
+  List.iter
+    (fun id -> counts.(t.cycle_of.(id)) <- counts.(t.cycle_of.(id)) + 1)
+    (Dfg.ops_of_kind t.dfg kind);
+  Array.fold_left max 0 counts
+
+let validate t =
+  let n = Dfg.op_count t.dfg in
+  let rec check id =
+    if id >= n then Ok ()
+    else
+      let late_pred =
+        List.find_opt (fun p -> t.cycle_of.(p) >= t.cycle_of.(id)) (Dfg.predecessors t.dfg id)
+      in
+      match late_pred with
+      | Some p ->
+        Error
+          (Printf.sprintf "op %d (cycle %d) depends on op %d (cycle %d)" id t.cycle_of.(id)
+             p t.cycle_of.(p))
+      | None -> check (id + 1)
+  in
+  check 0
+
+let pp fmt t =
+  Format.fprintf fmt "%s scheduled in %d cycles (peak: %d add, %d mul)"
+    (Dfg.name t.dfg) t.n_cycles (max_concurrency t Add) (max_concurrency t Mul)

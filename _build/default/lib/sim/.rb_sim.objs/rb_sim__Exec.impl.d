@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array List Rb_dfg Rb_locking Rb_sched Trace

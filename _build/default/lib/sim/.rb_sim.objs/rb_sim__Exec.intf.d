@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Rb_dfg Rb_locking Rb_sched Trace

@@ -1,0 +1,1 @@
+lib/sim/kmatrix.ml: Array Exec Hashtbl Int List Option Rb_dfg Trace

@@ -1,0 +1,1 @@
+lib/sim/kmatrix.mli: Rb_dfg Trace

@@ -1,0 +1,120 @@
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+module Schedule = Rb_sched.Schedule
+module Config = Rb_locking.Config
+
+type op_eval = { a : int; b : int; result : int }
+
+let operand_value trace ~sample results = function
+  | Dfg.Input name -> Trace.input_value trace ~sample ~input:name
+  | Dfg.Const c -> c
+  | Dfg.Op id -> results.(id).result
+
+let eval_clean trace ~sample =
+  let dfg = Trace.dfg trace in
+  let n = Dfg.op_count dfg in
+  let results = Array.make n { a = 0; b = 0; result = 0 } in
+  for id = 0 to n - 1 do
+    let o = Dfg.op dfg id in
+    let a = operand_value trace ~sample results o.lhs in
+    let b = operand_value trace ~sample results o.rhs in
+    results.(id) <- { a; b; result = Dfg.eval_kind o.kind a b }
+  done;
+  results
+
+let eval_locked trace ~sample ~fu_of_op ~config =
+  let dfg = Trace.dfg trace in
+  let n = Dfg.op_count dfg in
+  if Array.length fu_of_op <> n then invalid_arg "Exec.eval_locked: binding width";
+  let results = Array.make n { a = 0; b = 0; result = 0 } in
+  let injections = ref 0 in
+  for id = 0 to n - 1 do
+    let o = Dfg.op dfg id in
+    let a = operand_value trace ~sample results o.lhs in
+    let b = operand_value trace ~sample results o.rhs in
+    let clean = Dfg.eval_kind o.kind a b in
+    let fu = fu_of_op.(id) in
+    let result =
+      if Config.is_locked_input config ~fu (Minterm.pack a b) then begin
+        incr injections;
+        Config.corrupt clean
+      end
+      else clean
+    in
+    results.(id) <- { a; b; result }
+  done;
+  (results, !injections)
+
+type error_report = {
+  samples : int;
+  error_events : int;
+  clean_hits : int;
+  corrupted_output_words : int;
+  corrupted_samples : int;
+  corrupted_cycles : int;
+  max_consecutive_cycles : int;
+}
+
+let application_errors schedule trace ~fu_of_op ~config =
+  let dfg = Trace.dfg trace in
+  if Dfg.name (Schedule.dfg schedule) <> Dfg.name dfg then
+    invalid_arg "Exec.application_errors: schedule/trace DFG mismatch";
+  let n = Dfg.op_count dfg in
+  if Array.length fu_of_op <> n then
+    invalid_arg "Exec.application_errors: binding width";
+  let n_samples = Trace.length trace in
+  let error_events = ref 0 in
+  let clean_hits = ref 0 in
+  let corrupted_output_words = ref 0 in
+  let corrupted_samples = ref 0 in
+  let corrupted_cycles = ref 0 in
+  let max_burst = ref 0 in
+  let n_cycles = Schedule.n_cycles schedule in
+  let cycle_hit = Array.make n_cycles false in
+  for s = 0 to n_samples - 1 do
+    let golden = eval_clean trace ~sample:s in
+    let faulty, injections = eval_locked trace ~sample:s ~fu_of_op ~config in
+    error_events := !error_events + injections;
+    (* Clean hits: Eqn. 2 realized on the golden value stream. *)
+    for id = 0 to n - 1 do
+      let g = golden.(id) in
+      let fu = fu_of_op.(id) in
+      if Config.is_locked_input config ~fu (Minterm.pack g.a g.b) then incr clean_hits
+    done;
+    (* Output corruption. *)
+    let wrong_words =
+      List.fold_left
+        (fun acc out ->
+          if golden.(out).result <> faulty.(out).result then acc + 1 else acc)
+        0 (Dfg.outputs dfg)
+    in
+    corrupted_output_words := !corrupted_output_words + wrong_words;
+    if wrong_words > 0 then incr corrupted_samples;
+    (* Per-cycle injection map for burst statistics. *)
+    Array.fill cycle_hit 0 n_cycles false;
+    for id = 0 to n - 1 do
+      let f = faulty.(id) in
+      let fu = fu_of_op.(id) in
+      if Config.is_locked_input config ~fu (Minterm.pack f.a f.b) then
+        cycle_hit.(Schedule.cycle_of schedule id) <- true
+    done;
+    let burst = ref 0 in
+    Array.iter
+      (fun hit ->
+        if hit then begin
+          incr burst;
+          incr corrupted_cycles;
+          if !burst > !max_burst then max_burst := !burst
+        end
+        else burst := 0)
+      cycle_hit
+  done;
+  {
+    samples = n_samples;
+    error_events = !error_events;
+    clean_hits = !clean_hits;
+    corrupted_output_words = !corrupted_output_words;
+    corrupted_samples = !corrupted_samples;
+    corrupted_cycles = !corrupted_cycles;
+    max_consecutive_cycles = !max_burst;
+  }

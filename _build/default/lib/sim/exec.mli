@@ -1,0 +1,54 @@
+(** Trace-driven execution of (possibly bound and locked) DFGs.
+
+    Two execution modes back the whole evaluation:
+
+    - {!eval_clean}: the golden run. Per sample, every operation's
+      operand pair and result — the raw material of the K matrix
+      (Sec. IV-A) and of the switching model.
+    - {!eval_locked}: the wrong-key run. Operations bound to a locked
+      FU produce corrupted output whenever their (possibly already
+      corrupted) operands form a locked minterm, and the corruption
+      propagates through the dataflow — the application-level error the
+      paper is engineering. *)
+
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+
+type op_eval = { a : int; b : int; result : int }
+(** One operation's operand pair and result in one sample. *)
+
+val eval_clean : Trace.t -> sample:int -> op_eval array
+(** Golden evaluation of one sample, indexed by operation id. *)
+
+val eval_locked :
+  Trace.t ->
+  sample:int ->
+  fu_of_op:int array ->
+  config:Rb_locking.Config.t ->
+  op_eval array * int
+(** Wrong-key evaluation of one sample under a binding ([fu_of_op]
+    maps operation id to FU id) and a locking configuration. Returns
+    the per-operation evaluations (with corruption propagated) and the
+    number of error-injection events (locked-FU executions whose
+    operand minterm was locked). *)
+
+type error_report = {
+  samples : int;  (** trace length *)
+  error_events : int;  (** locked-input hits during faulty execution *)
+  clean_hits : int;  (** locked-input hits during golden execution — the realized value of cost Eqn. 2 *)
+  corrupted_output_words : int;  (** output words differing from golden, summed over samples *)
+  corrupted_samples : int;  (** samples with at least one wrong output *)
+  corrupted_cycles : int;  (** (sample, cycle) pairs with >= 1 injection *)
+  max_consecutive_cycles : int;  (** longest error burst within a sample — the "quality" notion of Sec. III *)
+}
+
+val application_errors :
+  Rb_sched.Schedule.t ->
+  Trace.t ->
+  fu_of_op:int array ->
+  config:Rb_locking.Config.t ->
+  error_report
+(** Run the whole trace both clean and locked and aggregate the
+    application-level error metrics. Raises [Invalid_argument] if the
+    trace and schedule wrap different DFGs or the binding array length
+    differs from the operation count. *)

@@ -1,0 +1,107 @@
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+
+type t = {
+  dfg : Dfg.t;
+  per_op : (Minterm.t, int) Hashtbl.t array; (* op id -> minterm counts *)
+}
+
+let build trace =
+  let dfg = Trace.dfg trace in
+  let n = Dfg.op_count dfg in
+  let per_op = Array.init n (fun _ -> Hashtbl.create 32) in
+  for s = 0 to Trace.length trace - 1 do
+    let evals = Exec.eval_clean trace ~sample:s in
+    for id = 0 to n - 1 do
+      let e = evals.(id) in
+      let m = Minterm.pack e.Exec.a e.Exec.b in
+      let table = per_op.(id) in
+      let current = Option.value (Hashtbl.find_opt table m) ~default:0 in
+      Hashtbl.replace table m (current + 1)
+    done
+  done;
+  { dfg; per_op }
+
+let of_counts dfg entries =
+  let n = Dfg.op_count dfg in
+  let per_op = Array.init n (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun (op, counts) ->
+      if op < 0 || op >= n then invalid_arg "Kmatrix.of_counts: op id";
+      List.iter
+        (fun (m, c) ->
+          if c < 0 then invalid_arg "Kmatrix.of_counts: negative count";
+          let current = Option.value (Hashtbl.find_opt per_op.(op) m) ~default:0 in
+          Hashtbl.replace per_op.(op) m (current + c))
+        counts)
+    entries;
+  { dfg; per_op }
+
+let dfg t = t.dfg
+
+let count t m n = Option.value (Hashtbl.find_opt t.per_op.(n) m) ~default:0
+
+let count_set t set n =
+  Minterm.Set.fold (fun m acc -> acc + count t m n) set 0
+
+let op_histogram t n =
+  Hashtbl.fold (fun m c acc -> (m, c) :: acc) t.per_op.(n) []
+  |> List.sort (fun (m1, c1) (m2, c2) ->
+         match Int.compare c2 c1 with 0 -> Minterm.compare m1 m2 | c -> c)
+
+let total_occurrences t m =
+  Array.fold_left
+    (fun acc table -> acc + Option.value (Hashtbl.find_opt table m) ~default:0)
+    0 t.per_op
+
+let aggregate ?kind t =
+  let include_op id =
+    match kind with None -> true | Some k -> (Dfg.op t.dfg id).kind = k
+  in
+  let totals : (Minterm.t, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun id table ->
+      if include_op id then
+        Hashtbl.iter
+          (fun m c ->
+            let current = Option.value (Hashtbl.find_opt totals m) ~default:0 in
+            Hashtbl.replace totals m (current + c))
+          table)
+    t.per_op;
+  totals
+
+let all_minterms ?kind t =
+  let totals = aggregate ?kind t in
+  Hashtbl.fold (fun m c acc -> (m, c) :: acc) totals []
+  |> List.sort (fun (m1, c1) (m2, c2) ->
+         match Int.compare c2 c1 with 0 -> Minterm.compare m1 m2 | c -> c)
+
+let top_minterms ?kind t ~n =
+  all_minterms ?kind t |> List.filteri (fun i _ -> i < n) |> List.map fst
+
+let distinct_minterms t = Hashtbl.length (aggregate t)
+
+let head_mass ?kind t ~n =
+  let all = all_minterms ?kind t in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 all in
+  if total = 0 then 0.0
+  else begin
+    let head =
+      all |> List.filteri (fun i _ -> i < n)
+      |> List.fold_left (fun acc (_, c) -> acc + c) 0
+    in
+    float_of_int head /. float_of_int total
+  end
+
+let op_concentration t m =
+  let total = total_occurrences t m in
+  if total = 0 then 0.0
+  else begin
+    let best = ref 0 in
+    Array.iter
+      (fun table ->
+        let c = Option.value (Hashtbl.find_opt table m) ~default:0 in
+        if c > !best then best := c)
+      t.per_op;
+    float_of_int !best /. float_of_int total
+  end

@@ -1,0 +1,67 @@
+(** The K matrix — expected locked-input occurrences per operation.
+
+    [K(m, n)] is the number of times input minterm [m] is applied to
+    operation [n] over the typical input trace (Sec. IV-A). It is the
+    only statistic the paper's cost function (Eqn. 2) and both binding
+    algorithms consume; building it once per benchmark makes every
+    enumeration cheap. *)
+
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+
+type t
+
+val build : Trace.t -> t
+(** Simulate the golden DFG over the whole trace and count, per
+    operation, every operand minterm applied to it. *)
+
+val of_counts : Rb_dfg.Dfg.t -> (Dfg.op_id * (Minterm.t * int) list) list -> t
+(** Build a K matrix from explicit per-operation counts instead of a
+    trace — used to encode the paper's worked examples (Figs. 1 and 2)
+    and by tests. Unlisted (op, minterm) pairs count 0. Raises
+    [Invalid_argument] on out-of-range ids or negative counts. *)
+
+val dfg : t -> Dfg.t
+
+val count : t -> Minterm.t -> Dfg.op_id -> int
+(** [count k m n] is K(m, n); 0 when [m] never reaches [n]. *)
+
+val count_set : t -> Minterm.Set.t -> Dfg.op_id -> int
+(** Sum of {!count} over a minterm set — the edge weight w(i, j) of
+    Eqn. 3 for FU [i]'s locked set and operation [j]. *)
+
+val op_histogram : t -> Dfg.op_id -> (Minterm.t * int) list
+(** All (minterm, count) pairs for an operation, descending count, ties
+    by ascending minterm. *)
+
+val total_occurrences : t -> Minterm.t -> int
+(** Occurrences of a minterm summed over all operations. *)
+
+val top_minterms : ?kind:Dfg.op_kind -> t -> n:int -> Minterm.t list
+(** The [n] most frequent minterms across the DFG (restricted to
+    operations of [kind] when given) — the paper's candidate
+    locked-input list C, "the 10 most common inputs for each DFG"
+    (Sec. VI). Descending frequency, ties by ascending minterm. *)
+
+val all_minterms : ?kind:Dfg.op_kind -> t -> (Minterm.t * int) list
+(** Every minterm seen in the trace (restricted to operations of
+    [kind] when given) with its total occurrence count, descending
+    count then ascending minterm — {!top_minterms} is a prefix of
+    this list. *)
+
+val distinct_minterms : t -> int
+(** Number of distinct minterms seen anywhere in the trace. *)
+
+val head_mass : ?kind:Dfg.op_kind -> t -> n:int -> float
+(** Fraction of all operand-minterm occurrences captured by the [n]
+    most common minterms — how repetitive the workload is. The
+    binding algorithms need this to be high (candidate lists carry
+    real error mass). *)
+
+val op_concentration : t -> Minterm.t -> float
+(** Largest share of a minterm's occurrences attributable to a single
+    operation, in [0, 1]. 1.0 means the minterm fires on exactly one
+    operation — the regime where a security-oblivious binding is
+    likeliest to miss it entirely, which is what drives the paper's
+    largest error-increase ratios (see EXPERIMENTS.md). Returns 0 for
+    minterms absent from the trace. *)

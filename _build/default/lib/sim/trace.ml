@@ -1,0 +1,49 @@
+module Dfg = Rb_dfg.Dfg
+module Word = Rb_dfg.Word
+
+type t = {
+  dfg : Dfg.t;
+  input_names : string array;
+  index_of : (string, int) Hashtbl.t;
+  samples : int array array;
+}
+
+let make dfg ~samples =
+  let input_names = Array.of_list (Dfg.inputs dfg) in
+  let n_inputs = Array.length input_names in
+  if Array.length samples = 0 then invalid_arg "Trace.make: empty trace";
+  let clamped =
+    Array.map
+      (fun row ->
+        if Array.length row <> n_inputs then invalid_arg "Trace.make: sample width";
+        Array.map Word.clamp row)
+      samples
+  in
+  let index_of = Hashtbl.create n_inputs in
+  Array.iteri (fun i name -> Hashtbl.replace index_of name i) input_names;
+  { dfg; input_names; index_of; samples = clamped }
+
+let generate dfg ~n ~f =
+  if n <= 0 then invalid_arg "Trace.generate: n";
+  let input_names = Array.of_list (Dfg.inputs dfg) in
+  let samples =
+    Array.init n (fun s -> Array.map (fun name -> Word.clamp (f s name)) input_names)
+  in
+  make dfg ~samples
+
+let dfg t = t.dfg
+let length t = Array.length t.samples
+
+let input_index t name =
+  match Hashtbl.find_opt t.index_of name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let input_value t ~sample ~input = t.samples.(sample).(input_index t input)
+
+let sample t i = t.samples.(i)
+
+let sub t ~pos ~len =
+  if len <= 0 || pos < 0 || pos + len > Array.length t.samples then
+    invalid_arg "Trace.sub";
+  { t with samples = Array.sub t.samples pos len }

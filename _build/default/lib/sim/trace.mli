@@ -1,0 +1,37 @@
+(** Input traces — the "typical workload" of a kernel.
+
+    HLS assumes knowledge of the IC's input distribution (Sec. II-B,
+    [19], [22]); concretely, a trace is a sequence of samples, each
+    assigning one word to every primary input of a DFG. The
+    MediaBench-provided sample workloads of Sec. VI are reproduced by
+    the generators in {!Rb_workload}. *)
+
+type t
+
+val make : Rb_dfg.Dfg.t -> samples:int array array -> t
+(** [make dfg ~samples] wraps samples ordered like [Dfg.inputs dfg]
+    (one inner array per sample, one word per input, clamped to the
+    word range). Raises [Invalid_argument] on width mismatches or an
+    empty trace. *)
+
+val generate : Rb_dfg.Dfg.t -> n:int -> f:(int -> string -> int) -> t
+(** [generate dfg ~n ~f] builds [n] samples where [f sample_index
+    input_name] supplies each word. *)
+
+val dfg : t -> Rb_dfg.Dfg.t
+val length : t -> int
+
+val input_value : t -> sample:int -> input:string -> int
+(** Value of a named input in one sample. Raises [Not_found] for
+    unknown input names. *)
+
+val sample : t -> int -> int array
+(** Raw sample row (do not mutate). *)
+
+val sub : t -> pos:int -> len:int -> t
+(** Contiguous slice of the trace — used by the train/test
+    generalization ablation. Raises [Invalid_argument] on an empty or
+    out-of-range slice. *)
+
+val input_index : t -> string -> int
+(** Position of an input name in sample rows. *)

@@ -1,0 +1,97 @@
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+(* Enumerate index vectors 0 <= c.(0) < c.(1) < ... < c.(k-1) < n in
+   lexicographic order; [advance] finds the rightmost index that can
+   still move and resets everything after it. *)
+let fold_k_subsets arr k ~init ~f =
+  let n = Array.length arr in
+  if k < 0 || k > n then init
+  else if k = 0 then f init [||]
+  else begin
+    let idx = Array.init k (fun i -> i) in
+    let subset = Array.map (fun i -> arr.(i)) idx in
+    let fill_from pos =
+      for i = pos to k - 1 do
+        subset.(i) <- arr.(idx.(i))
+      done
+    in
+    let rec advance pos =
+      if pos < 0 then None
+      else if idx.(pos) < n - (k - pos) then begin
+        idx.(pos) <- idx.(pos) + 1;
+        for i = pos + 1 to k - 1 do
+          idx.(i) <- idx.(i - 1) + 1
+        done;
+        Some pos
+      end
+      else advance (pos - 1)
+    in
+    let rec loop acc =
+      let acc = f acc subset in
+      match advance (k - 1) with
+      | None -> acc
+      | Some pos ->
+        fill_from pos;
+        loop acc
+    in
+    loop init
+  end
+
+let k_subsets arr k =
+  let subsets =
+    fold_k_subsets arr k ~init:[] ~f:(fun acc subset -> Array.copy subset :: acc)
+  in
+  List.rev subsets
+
+let cartesian_product lists =
+  let rec go = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+      let tails = go rest in
+      List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+  in
+  go lists
+
+let fold_cartesian choices ~init ~f =
+  let n = Array.length choices in
+  if Array.exists (fun c -> Array.length c = 0) choices then init
+  else if n = 0 then f init [||]
+  else begin
+    let idx = Array.make n 0 in
+    let tuple = Array.map (fun c -> c.(0)) choices in
+    let rec advance pos =
+      if pos < 0 then false
+      else if idx.(pos) + 1 < Array.length choices.(pos) then begin
+        idx.(pos) <- idx.(pos) + 1;
+        tuple.(pos) <- choices.(pos).(idx.(pos));
+        true
+      end
+      else begin
+        idx.(pos) <- 0;
+        tuple.(pos) <- choices.(pos).(0);
+        advance (pos - 1)
+      end
+    in
+    let rec run acc =
+      let acc = f acc tuple in
+      if advance (n - 1) then run acc else acc
+    in
+    run init
+  end
+
+let product_size sizes =
+  let mul a b =
+    if a = 0 || b = 0 then 0
+    else if a > max_int / b then max_int
+    else a * b
+  in
+  List.fold_left mul 1 sizes

@@ -1,0 +1,35 @@
+(** Combinatorial enumeration used by the co-design algorithms.
+
+    The optimal binding-obfuscation co-design of Sec. V enumerates all
+    size-[k] subsets of the candidate locked-input list for each locked
+    FU, and then the cartesian product of those choices across FUs. *)
+
+val choose : int -> int -> int
+(** [choose n k] is the binomial coefficient C(n, k). Returns 0 when
+    [k < 0] or [k > n]. Uses a multiplicative scheme that stays exact
+    for every value used in this library (n <= 62). *)
+
+val k_subsets : 'a array -> int -> 'a array list
+(** [k_subsets arr k] lists every size-[k] subset of [arr], each in the
+    original element order, in lexicographic index order. C(n, k)
+    subsets are produced. *)
+
+val fold_k_subsets : 'a array -> int -> init:'b -> f:('b -> 'a array -> 'b) -> 'b
+(** Allocation-light fold over the same enumeration as {!k_subsets};
+    the subset array passed to [f] is reused between calls and must not
+    be retained. *)
+
+val cartesian_product : 'a list list -> 'a list list
+(** [cartesian_product [l1; l2; ...]] is every way of picking one
+    element from each list, in order. The product of an empty list of
+    lists is [[[]]]. *)
+
+val fold_cartesian : 'a array array -> init:'b -> f:('b -> 'a array -> 'b) -> 'b
+(** [fold_cartesian choices ~init ~f] folds [f] over every tuple of the
+    product [choices.(0) x choices.(1) x ...] without materializing the
+    product. The tuple array passed to [f] is reused and must not be
+    retained. *)
+
+val product_size : int list -> int
+(** Product of the list, saturating at [max_int] instead of wrapping so
+    enumeration-size guards stay sound. *)

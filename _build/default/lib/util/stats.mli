@@ -1,0 +1,29 @@
+(** Small statistics helpers for aggregating experiment results. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of strictly positive values; 0.0 on the empty list.
+    Raises [Invalid_argument] if any value is not positive. The paper's
+    "increase in application errors" plots are log-scale ratios, so the
+    geometric mean is the faithful aggregate; we also report arithmetic
+    means, which is what the headline 26x/99x figures use. *)
+
+val stdev : float list -> float
+(** Sample standard deviation; 0.0 for fewer than two values. *)
+
+val median : float list -> float
+(** Median; 0.0 on the empty list. *)
+
+val minimum : float list -> float
+(** Smallest value; raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Largest value; raises [Invalid_argument] on the empty list. *)
+
+val ratio : num:float -> den:float -> float
+(** [ratio ~num ~den] is [num /. den], treating a zero denominator as a
+    ratio of 1.0 when the numerator is also zero and infinity
+    otherwise. Used for error-increase factors where a baseline binding
+    may inject zero errors. *)

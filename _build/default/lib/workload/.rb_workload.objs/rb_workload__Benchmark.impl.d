@@ -1,0 +1,1 @@
+lib/workload/benchmark.ml: Gen Hashtbl Kernels List Rb_dfg Rb_sched Rb_sim Rb_util

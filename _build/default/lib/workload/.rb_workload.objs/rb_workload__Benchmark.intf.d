@@ -1,0 +1,1 @@
+lib/workload/benchmark.mli: Gen Rb_dfg Rb_sched Rb_sim

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Hashtbl Rb_dfg Rb_util

@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Array List Printf Rb_dfg

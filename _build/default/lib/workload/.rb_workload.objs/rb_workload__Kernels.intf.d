@@ -1,0 +1,1 @@
+lib/workload/kernels.mli: Rb_dfg

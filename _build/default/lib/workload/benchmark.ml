@@ -1,0 +1,51 @@
+module Rng = Rb_util.Rng
+module Trace = Rb_sim.Trace
+
+type t = {
+  name : string;
+  source : string;
+  dfg : Rb_dfg.Dfg.t;
+  workload : unit -> Gen.generator;
+}
+
+let all () =
+  [
+    { name = "dct"; source = "mpeg2enc: fdct 8-point"; dfg = Kernels.dct ();
+      workload = Gen.image_pixels };
+    { name = "ecb_enc4"; source = "pegwit: ECB encrypt rounds"; dfg = Kernels.ecb_enc4 ();
+      workload = Gen.cipher_bytes };
+    { name = "fft"; source = "rasta: radix-2 FFT butterflies"; dfg = Kernels.fft ();
+      workload = Gen.audio_samples };
+    { name = "fir"; source = "epic: 8-tap FIR filter"; dfg = Kernels.fir ();
+      workload = Gen.audio_samples };
+    { name = "jctrans2"; source = "cjpeg: coefficient requantization"; dfg = Kernels.jctrans2 ();
+      workload = Gen.image_pixels };
+    { name = "jdmerge1"; source = "djpeg: h1v1 merged upsampling"; dfg = Kernels.jdmerge1 ();
+      workload = Gen.image_pixels };
+    { name = "jdmerge3"; source = "djpeg: h2v1 merged upsampling"; dfg = Kernels.jdmerge3 ();
+      workload = Gen.image_pixels };
+    { name = "jdmerge4"; source = "djpeg: h2v2 merged upsampling"; dfg = Kernels.jdmerge4 ();
+      workload = Gen.image_pixels };
+    { name = "motion2"; source = "mpeg2dec: half-pel compensation"; dfg = Kernels.motion2 ();
+      workload = Gen.image_pixels };
+    { name = "motion3"; source = "mpeg2dec: bi-directional prediction"; dfg = Kernels.motion3 ();
+      workload = Gen.residuals };
+    { name = "noisest2"; source = "gsm: noise variance estimate"; dfg = Kernels.noisest2 ();
+      workload = Gen.audio_samples };
+  ]
+
+let names () = List.map (fun b -> b.name) (all ())
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) (all ()) with
+  | Some b -> b
+  | None -> raise Not_found
+
+let default_trace_length = 256
+
+let trace ?(seed = 1789) ?(length = default_trace_length) t =
+  let rng = Rng.create (seed + Hashtbl.hash t.name) in
+  let generator = t.workload () in
+  Trace.generate t.dfg ~n:length ~f:(fun sample name -> generator rng sample name)
+
+let schedule t = Rb_sched.Scheduler.path_based t.dfg

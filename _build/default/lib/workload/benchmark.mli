@@ -1,0 +1,34 @@
+(** The benchmark registry — Sec. VI's 11 MediaBench-derived kernels.
+
+    Each benchmark couples a kernel DFG with the synthetic workload
+    generator standing in for its MediaBench sample inputs, plus the
+    provenance string recording which benchmark/function it rebuilds. *)
+
+type t = {
+  name : string;
+  source : string;  (** MediaBench benchmark and function it stands in for *)
+  dfg : Rb_dfg.Dfg.t;
+  workload : unit -> Gen.generator;  (** fresh generator for trace synthesis *)
+}
+
+val all : unit -> t list
+(** The 11 benchmarks in the paper's Fig. 4 order: dct, ecb_enc4, fft,
+    fir, jctrans2, jdmerge1, jdmerge3, jdmerge4, motion2, motion3,
+    noisest2. *)
+
+val names : unit -> string list
+
+val find : string -> t
+(** Raises [Not_found] for unknown names. *)
+
+val default_trace_length : int
+(** Samples per synthesized trace (256). *)
+
+val trace : ?seed:int -> ?length:int -> t -> Rb_sim.Trace.t
+(** Synthesize the benchmark's typical input trace. Default seed 1789,
+    default length {!default_trace_length}; the same (seed, length)
+    always produces the same trace. *)
+
+val schedule : t -> Rb_sched.Schedule.t
+(** Path-based schedule on the paper's resource budget (up to 3 FUs of
+    each kind). *)

@@ -1,0 +1,88 @@
+module Rng = Rb_util.Rng
+module Word = Rb_dfg.Word
+
+type generator = Rng.t -> int -> string -> int
+
+(* Each generator keeps a little state that is refreshed when the
+   sample index advances; all words of one sample are drawn from the
+   same regime, the way pixels of one block share a region.
+
+   The distributions are deliberately heavy-tailed *per input
+   position*: real multimedia kernels see a few stereotyped values on
+   each port (region bases, silence levels, zero residuals, ASCII
+   text), so each operation's minterm histogram has a tall, operation-
+   specific head. That concentration is what HLS input-distribution
+   knowledge (Sec. II-B) looks like, and what the binding algorithms
+   exploit. *)
+
+(* Stable small hash of an input name, to give each port its own
+   stereotyped offset without sharing state across ports. *)
+let port_id name = Hashtbl.hash name land 0xFF
+
+let image_pixels () =
+  let current_sample = ref (-1) in
+  let base = ref 0 in
+  let step = ref 1 in
+  let textured = ref false in
+  let palette = [| 8; 16; 32; 64; 96; 128; 200 |] in
+  fun rng sample name ->
+    if sample <> !current_sample then begin
+      current_sample := sample;
+      base := Rng.pick rng palette;
+      (* Most blocks are smooth ramps (gradients); some are perfectly
+         flat; few are textured. *)
+      let r = Rng.int rng 10 in
+      step := if r < 2 then 0 else if r < 8 then 1 else 2;
+      textured := r = 9
+    end;
+    let position = port_id name land 0x7 in
+    let v = !base + (!step * position) in
+    if !textured then Word.clamp (v + Rng.int rng 5) else Word.clamp v
+
+let audio_samples () =
+  let current_sample = ref (-1) in
+  let silent = ref false in
+  let level = ref 0 in
+  fun rng sample name ->
+    if sample <> !current_sample then begin
+      current_sample := sample;
+      (* Runs of silence are common in speech workloads; active frames
+         sit at one of a few loudness plateaus. *)
+      if Rng.int rng 4 = 0 then silent := not !silent;
+      level := Rng.int rng 4
+    end;
+    if !silent then 128
+    else begin
+      (* Each channel/tap has a stereotyped offset around the frame's
+         plateau; coarse codec quantization keeps values repeating. *)
+      let plateau = 64 + (32 * !level) in
+      let offset = port_id name land 0x1F in
+      Word.clamp ((plateau + offset) / 8 * 8)
+    end
+
+let residuals () =
+  let current_sample = ref (-1) in
+  let moving = ref false in
+  fun rng sample name ->
+    if sample <> !current_sample then begin
+      current_sample := sample;
+      (* Most macroblocks are static (zero residual); moving ones have
+         small, position-biased residuals. *)
+      moving := Rng.int rng 3 = 0
+    end;
+    if not !moving then 0
+    else begin
+      let bias = port_id name land 0x3 in
+      if Rng.int rng 8 = 0 then Rng.int rng Word.count else bias + Rng.int rng 3
+    end
+
+let cipher_bytes () =
+  let alphabet = [| 0x00; 0x20; 0x41; 0x45; 0x54; 0x61; 0x65; 0x74; 0xFF |] in
+  fun rng _sample name ->
+    (* Headers, padding and ASCII text dominate real plaintext; each
+       byte position has its own favourite (header magic, length
+       fields), with occasional arbitrary payload bytes. *)
+    let r = Rng.int rng 8 in
+    if r = 0 then Rng.int rng Word.count
+    else if r < 4 then alphabet.(port_id name mod Array.length alphabet)
+    else Rng.pick rng alphabet

@@ -1,0 +1,26 @@
+(** Synthetic "typical workload" generators.
+
+    Stand-ins for the MediaBench sample workloads (see DESIGN.md,
+    substitutions). What the binding algorithms exploit is that real
+    multimedia data is highly repetitive — flat image regions, silent
+    audio, zero residuals — so a few input minterms dominate each
+    operation's histogram. Each generator produces one word per named
+    input per sample from a seeded {!Rb_util.Rng.t}:
+
+    - {!image_pixels}: blocks from a piecewise-flat image with a small
+      palette of region intensities plus occasional texture noise.
+    - {!audio_samples}: a quantized low-frequency oscillation with
+      silence runs.
+    - {!residuals}: sparse motion/noise residuals, mostly zero.
+    - {!cipher_bytes}: plaintext bytes from a small alphabet (headers,
+      padding) — the ecb_enc4 feed. *)
+
+type generator = Rb_util.Rng.t -> int -> string -> int
+(** [gen rng sample_index input_name] yields one word. Generators keep
+    per-sample state keyed on [sample_index] transitions, so inputs of
+    the same sample are correlated the way a pixel block is. *)
+
+val image_pixels : unit -> generator
+val audio_samples : unit -> generator
+val residuals : unit -> generator
+val cipher_bytes : unit -> generator

@@ -1,0 +1,237 @@
+module B = Rb_dfg.Dfg.Builder
+
+(* x - y in 8-bit two's complement: y * 255 = -y (mod 256). *)
+let neg b ?label y = B.mul ?label b y (B.const 255)
+let sub b ?label x y = B.add ?label b x (neg b y)
+
+let inputs b prefix n = Array.init n (fun i -> B.input b (Printf.sprintf "%s%d" prefix i))
+
+let dct () =
+  let b = B.create "dct" in
+  let x = inputs b "x" 8 in
+  (* Stage 1: sum/difference butterflies over mirrored pairs. *)
+  let s = Array.init 4 (fun i -> B.add ~label:(Printf.sprintf "s%d" i) b x.(i) x.(7 - i)) in
+  let d = Array.init 4 (fun i -> sub ~label:(Printf.sprintf "d%d" i) b x.(i) x.(7 - i)) in
+  (* Even part. *)
+  let e0 = B.add ~label:"e0" b s.(0) s.(3) in
+  let e1 = B.add ~label:"e1" b s.(1) s.(2) in
+  let y0 = B.add ~label:"y0" b e0 e1 in
+  let y4 = sub ~label:"y4" b e0 e1 in
+  let sa = sub ~label:"sa" b s.(0) s.(3) in
+  let sb = sub ~label:"sb" b s.(1) s.(2) in
+  let y2 = B.add ~label:"y2" b (B.mul b sa (B.const 98)) (B.mul b sb (B.const 41)) in
+  let y6 = B.add ~label:"y6" b (B.mul b sa (B.const 41)) (neg b (B.mul b sb (B.const 98))) in
+  (* Odd part: rotations by the remaining cosine coefficients. *)
+  let y1 = B.add ~label:"y1" b (B.mul b d.(0) (B.const 126)) (B.mul b d.(1) (B.const 106)) in
+  let y3 = B.add ~label:"y3" b (B.mul b d.(0) (B.const 106)) (neg b (B.mul b d.(2) (B.const 25))) in
+  let y5 = B.add ~label:"y5" b (B.mul b d.(1) (B.const 71)) (B.mul b d.(3) (B.const 25)) in
+  let y7 = B.add ~label:"y7" b (B.mul b d.(0) (B.const 25)) (neg b (B.mul b d.(3) (B.const 71))) in
+  List.iter (B.output b) [ y0; y1; y2; y3; y4; y5; y6; y7 ];
+  B.finish b
+
+let ecb_enc4 () =
+  let b = B.create "ecb_enc4" in
+  let p = inputs b "p" 8 in
+  let round_keys = [| 0x2B; 0x7E; 0x15; 0x16; 0x28; 0xAE; 0xD2; 0xA6 |] in
+  let round2_keys = [| 0xA0; 0xFA; 0xFE; 0x17; 0x88; 0x54; 0x2C; 0xB1 |] in
+  (* Round 1: key whitening. *)
+  let w = Array.mapi (fun i pi -> B.add ~label:(Printf.sprintf "w%d" i) b pi (B.const round_keys.(i))) p in
+  (* Diffusion: each byte absorbs its neighbour. *)
+  let m = Array.init 8 (fun i -> B.add ~label:(Printf.sprintf "m%d" i) b w.(i) w.((i + 1) mod 8)) in
+  (* Round 2: key addition. *)
+  let c = Array.mapi (fun i mi -> B.add ~label:(Printf.sprintf "c%d" i) b mi (B.const round2_keys.(i))) m in
+  Array.iter (B.output b) c;
+  B.finish b
+
+let fft () =
+  let b = B.create "fft" in
+  let re = inputs b "re" 8 in
+  (* Stage 1: butterflies on (i, i+4), real-valued decimation. *)
+  let t = Array.init 4 (fun i -> B.add ~label:(Printf.sprintf "t%d" i) b re.(i) re.(i + 4)) in
+  let u = Array.init 4 (fun i -> sub ~label:(Printf.sprintf "u%d" i) b re.(i) re.(i + 4)) in
+  (* Stage 2 on the even branch. *)
+  let t01 = B.add ~label:"t01" b t.(0) t.(2) in
+  let t23 = B.add ~label:"t23" b t.(1) t.(3) in
+  let d01 = sub ~label:"d01" b t.(0) t.(2) in
+  let d23 = sub ~label:"d23" b t.(1) t.(3) in
+  (* Twiddle products on the odd branch (W_8^k coefficients). *)
+  let w1 = B.mul ~label:"w1" b u.(1) (B.const 90) in
+  let w2 = B.mul ~label:"w2" b u.(2) (B.const 70) in
+  let w3 = B.mul ~label:"w3" b u.(3) (B.const 46) in
+  (* Stage 3 recombination. *)
+  let y0 = B.add ~label:"y0" b t01 t23 in
+  let y4 = sub ~label:"y4" b t01 t23 in
+  let y2 = B.add ~label:"y2" b d01 (B.mul ~label:"wd" b d23 (B.const 90)) in
+  let y6 = sub ~label:"y6" b d01 d23 in
+  let o1 = B.add ~label:"o1" b u.(0) w1 in
+  let o2 = B.add ~label:"o2" b w2 w3 in
+  let y1 = B.add ~label:"y1" b o1 o2 in
+  let y3 = sub ~label:"y3" b o1 w2 in
+  let y5 = B.add ~label:"y5" b (sub ~label:"s5" b u.(0) w1) w3 in
+  List.iter (B.output b) [ y0; y1; y2; y3; y4; y5; y6 ];
+  B.finish b
+
+let fir () =
+  let b = B.create "fir" in
+  let x = inputs b "x" 8 in
+  let coeffs = [| 3; 11; 32; 78; 78; 32; 11; 3 |] in
+  let taps = Array.mapi (fun i xi -> B.mul ~label:(Printf.sprintf "t%d" i) b xi (B.const coeffs.(i))) x in
+  let acc = ref taps.(0) in
+  for i = 1 to 7 do
+    acc := B.add ~label:(Printf.sprintf "a%d" i) b !acc taps.(i)
+  done;
+  B.output b !acc;
+  B.finish b
+
+let jctrans2 () =
+  let b = B.create "jctrans2" in
+  let coef = inputs b "q" 8 in
+  let quant = [| 16; 11; 10; 16; 24; 40; 51; 61 |] in
+  (* Dequantize, bias for rounding, and re-accumulate block energy. *)
+  let deq = Array.mapi (fun i c -> B.mul ~label:(Printf.sprintf "dq%d" i) b c (B.const quant.(i))) coef in
+  let biased = Array.mapi (fun i d -> B.add ~label:(Printf.sprintf "rb%d" i) b d (B.const 8)) deq in
+  let pair = Array.init 4 (fun i -> B.add ~label:(Printf.sprintf "p%d" i) b biased.(2 * i) biased.((2 * i) + 1)) in
+  let q0 = B.add ~label:"q0" b pair.(0) pair.(1) in
+  let q1 = B.add ~label:"q1" b pair.(2) pair.(3) in
+  let energy = B.add ~label:"energy" b q0 q1 in
+  Array.iter (B.output b) biased;
+  B.output b energy;
+  B.finish b
+
+(* Shared YCbCr -> RGB chroma contribution: cred = 1.402 Cr,
+   cgreen = 0.344 Cb + 0.714 Cr (negated at use sites), cblue = 1.772 Cb. *)
+let chroma_terms b cb cr =
+  let cred = B.mul ~label:"cred" b cr (B.const 90) in
+  let cg1 = B.mul ~label:"cg1" b cb (B.const 22) in
+  let cg2 = B.mul ~label:"cg2" b cr (B.const 46) in
+  let cgreen = B.add ~label:"cgreen" b cg1 cg2 in
+  let cblue = B.mul ~label:"cblue" b cb (B.const 113) in
+  (cred, cgreen, cblue)
+
+let rgb_pixel b idx y (cred, cgreen, cblue) =
+  let r = B.add ~label:(Printf.sprintf "r%d" idx) b y cred in
+  let g = sub ~label:(Printf.sprintf "g%d" idx) b y cgreen in
+  let bl = B.add ~label:(Printf.sprintf "b%d" idx) b y cblue in
+  (r, g, bl)
+
+let jdmerge1 () =
+  let b = B.create "jdmerge1" in
+  let y = inputs b "y" 2 in
+  let cb = B.input b "cb" in
+  let cr = B.input b "cr" in
+  let terms = chroma_terms b cb cr in
+  Array.iteri
+    (fun i yi ->
+      let r, g, bl = rgb_pixel b i yi terms in
+      List.iter (B.output b) [ r; g; bl ])
+    y;
+  B.finish b
+
+let jdmerge3 () =
+  let b = B.create "jdmerge3" in
+  let y = inputs b "y" 4 in
+  let cb = inputs b "cb" 2 in
+  let cr = inputs b "cr" 2 in
+  (* h2v1: horizontally interpolate the chroma pair. *)
+  let cbi = B.add ~label:"cbi" b cb.(0) cb.(1) in
+  let cri = B.add ~label:"cri" b cr.(0) cr.(1) in
+  let terms = chroma_terms b cbi cri in
+  Array.iteri
+    (fun i yi ->
+      let r, g, bl = rgb_pixel b i yi terms in
+      List.iter (B.output b) [ r; g; bl ])
+    y;
+  B.finish b
+
+let jdmerge4 () =
+  let b = B.create "jdmerge4" in
+  let y = inputs b "y" 4 in
+  let cb = inputs b "cb" 2 in
+  let cr = inputs b "cr" 2 in
+  (* h2v2: triangle filter 3:1 across the two chroma rows. *)
+  let tri ~label near far =
+    let scaled = B.mul b near (B.const 3) in
+    let mixed = B.add b scaled far in
+    B.add ~label b mixed (B.const 2)
+  in
+  let cb0 = tri ~label:"cb0" cb.(0) cb.(1) in
+  let cb1 = tri ~label:"cb1" cb.(1) cb.(0) in
+  let cr0 = tri ~label:"cr0" cr.(0) cr.(1) in
+  let cr1 = tri ~label:"cr1" cr.(1) cr.(0) in
+  let terms0 = chroma_terms b cb0 cr0 in
+  let terms1 = chroma_terms b cb1 cr1 in
+  Array.iteri
+    (fun i yi ->
+      let terms = if i < 2 then terms0 else terms1 in
+      let r, g, bl = rgb_pixel b i yi terms in
+      List.iter (B.output b) [ r; g; bl ])
+    y;
+  B.finish b
+
+let motion2 () =
+  let b = B.create "motion2" in
+  let r = inputs b "r" 7 in
+  let c = inputs b "c" 6 in
+  (* Half-pel horizontal interpolation with rounding. *)
+  let pred =
+    Array.init 6 (fun i ->
+        let s = B.add ~label:(Printf.sprintf "hp%d" i) b r.(i) r.(i + 1) in
+        B.add ~label:(Printf.sprintf "rnd%d" i) b s (B.const 1))
+  in
+  (* Weighted prediction, then absolute-difference surrogate. *)
+  let wpred = Array.mapi (fun i p -> B.mul ~label:(Printf.sprintf "wp%d" i) b p (B.const 128)) pred in
+  let diff = Array.init 6 (fun i -> sub ~label:(Printf.sprintf "df%d" i) b c.(i) wpred.(i)) in
+  let s0 = B.add ~label:"s0" b diff.(0) diff.(1) in
+  let s1 = B.add ~label:"s1" b diff.(2) diff.(3) in
+  let s2 = B.add ~label:"s2" b diff.(4) diff.(5) in
+  let s01 = B.add ~label:"s01" b s0 s1 in
+  let sad = B.add ~label:"sad" b s01 s2 in
+  Array.iter (B.output b) pred;
+  B.output b sad;
+  B.finish b
+
+let motion3 () =
+  let b = B.create "motion3" in
+  let fwd = inputs b "f" 5 in
+  let bwd = inputs b "b" 4 in
+  let cur = inputs b "c" 4 in
+  (* Forward reference is half-pel: interpolate before weighting. *)
+  let fpel =
+    Array.init 4 (fun i ->
+        let s = B.add ~label:(Printf.sprintf "fi%d" i) b fwd.(i) fwd.(i + 1) in
+        B.add ~label:(Printf.sprintf "fr%d" i) b s (B.const 1))
+  in
+  (* Bi-directional weighted prediction per pixel. *)
+  let pred =
+    Array.init 4 (fun i ->
+        let wf = B.mul ~label:(Printf.sprintf "wf%d" i) b fpel.(i) (B.const 96) in
+        let wb = B.mul ~label:(Printf.sprintf "wb%d" i) b bwd.(i) (B.const 32) in
+        let s = B.add ~label:(Printf.sprintf "bp%d" i) b wf wb in
+        B.add ~label:(Printf.sprintf "br%d" i) b s (B.const 1))
+  in
+  let diff = Array.init 4 (fun i -> sub ~label:(Printf.sprintf "df%d" i) b cur.(i) pred.(i)) in
+  let s0 = B.add ~label:"s0" b diff.(0) diff.(1) in
+  let s1 = B.add ~label:"s1" b diff.(2) diff.(3) in
+  let sad = B.add ~label:"sad" b s0 s1 in
+  Array.iter (B.output b) pred;
+  B.output b sad;
+  B.finish b
+
+let noisest2 () =
+  let b = B.create "noisest2" in
+  let x = inputs b "x" 4 in
+  let y = inputs b "y" 4 in
+  (* Squared differences between signal and smoothed estimate. *)
+  let d = Array.init 4 (fun i -> sub ~label:(Printf.sprintf "d%d" i) b x.(i) y.(i)) in
+  let sq = Array.mapi (fun i di -> B.mul ~label:(Printf.sprintf "sq%d" i) b di di) d in
+  let s0 = B.add ~label:"s0" b sq.(0) sq.(1) in
+  let s1 = B.add ~label:"s1" b sq.(2) sq.(3) in
+  let sum = B.add ~label:"sum" b s0 s1 in
+  (* Mean of the signal and its square, for the variance estimate. *)
+  let m0 = B.add ~label:"m0" b x.(0) x.(1) in
+  let m1 = B.add ~label:"m1" b x.(2) x.(3) in
+  let mean = B.add ~label:"mean" b m0 m1 in
+  let mean_sq = B.mul ~label:"mean_sq" b mean mean in
+  let var = sub ~label:"var" b sum mean_sq in
+  List.iter (B.output b) [ sum; var ];
+  B.finish b

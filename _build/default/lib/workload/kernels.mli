@@ -1,0 +1,45 @@
+(** The 11 benchmark DFG kernels (Sec. VI).
+
+    Each function rebuilds, from the paper's description of its
+    MediaBench source function, an arithmetic kernel with the same
+    operation mix and dependency shape (see DESIGN.md, substitutions).
+    Subtraction is expressed as [x + (y * 255)] — exact two's-complement
+    negation in 8-bit arithmetic — which is also why several
+    image kernels carry "neg" multiplications, as strength-reduced
+    SUIF output would.
+
+    All kernels use only {!Rb_dfg.Dfg.op_kind} Add/Mul operations and
+    validate structurally. *)
+
+val dct : unit -> Rb_dfg.Dfg.t
+(** 8-point DCT, even/odd decomposition (mpeg2enc transform). *)
+
+val ecb_enc4 : unit -> Rb_dfg.Dfg.t
+(** Block-cipher ECB encryption round group (pegwit); adds only. *)
+
+val fft : unit -> Rb_dfg.Dfg.t
+(** Radix-2 decimation-in-time butterflies with twiddle products. *)
+
+val fir : unit -> Rb_dfg.Dfg.t
+(** 8-tap FIR filter inner loop body (EPIC/rasta filtering). *)
+
+val jctrans2 : unit -> Rb_dfg.Dfg.t
+(** JPEG transcoding requantization of one coefficient block (cjpeg). *)
+
+val jdmerge1 : unit -> Rb_dfg.Dfg.t
+(** JPEG upsampled YCbCr->RGB merge, h1v1 variant (djpeg). *)
+
+val jdmerge3 : unit -> Rb_dfg.Dfg.t
+(** JPEG merge, h2v1 variant: 4 pixels share interpolated chroma. *)
+
+val jdmerge4 : unit -> Rb_dfg.Dfg.t
+(** JPEG merge, h2v2 variant: two chroma rows, triangle filter. *)
+
+val motion2 : unit -> Rb_dfg.Dfg.t
+(** Half-pel motion compensation + SAD accumulation (mpeg2dec). *)
+
+val motion3 : unit -> Rb_dfg.Dfg.t
+(** Bi-directional weighted prediction + SAD (mpeg2dec). *)
+
+val noisest2 : unit -> Rb_dfg.Dfg.t
+(** Noise-variance estimation: squared differences (gsm/rasta). *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Int List QCheck2 QCheck_alcotest Rb_core Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim Rb_testsupport Rb_workload

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Buffer Fun List Printf QCheck2 QCheck_alcotest Rb_dfg Rb_sim Rb_util Result String

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Int List Printf QCheck2 QCheck_alcotest Rb_dfg Rb_hls Rb_sched Rb_sim Rb_testsupport

@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Array Format List QCheck2 QCheck_alcotest Rb_dfg Rb_locking Rb_netlist

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Int List QCheck2 QCheck_alcotest Rb_matching Rb_util

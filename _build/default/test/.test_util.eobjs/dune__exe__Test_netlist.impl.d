@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Int List Printf QCheck2 QCheck_alcotest Rb_dfg Rb_netlist Rb_util String

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Fun Int List Printf QCheck2 QCheck_alcotest Rb_core Rb_dfg Rb_hls Rb_locking Rb_rtl Rb_sched Rb_sim Rb_testsupport Rb_workload Result String

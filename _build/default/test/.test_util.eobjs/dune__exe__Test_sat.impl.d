@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Rb_netlist Rb_sat Rb_util String

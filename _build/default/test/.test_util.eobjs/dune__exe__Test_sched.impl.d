@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Fun Int List QCheck2 QCheck_alcotest Rb_dfg Rb_sched Rb_testsupport Result

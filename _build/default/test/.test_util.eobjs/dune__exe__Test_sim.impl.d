@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List QCheck2 QCheck_alcotest Rb_dfg Rb_hls Rb_locking Rb_sched Rb_sim Rb_testsupport

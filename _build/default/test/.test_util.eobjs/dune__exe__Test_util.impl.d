@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int List Printf QCheck2 QCheck_alcotest Rb_util String

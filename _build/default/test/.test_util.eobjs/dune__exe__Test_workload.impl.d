@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Rb_dfg Rb_sched Rb_sim Rb_util Rb_workload Result

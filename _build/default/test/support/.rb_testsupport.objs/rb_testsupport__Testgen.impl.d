@@ -1,0 +1,1 @@
+test/support/testgen.ml: Array List Printf Rb_dfg Rb_hls Rb_sched Rb_sim Rb_util

@@ -1,0 +1,1 @@
+test/support/testgen.mli: Rb_dfg Rb_hls Rb_sched Rb_sim

@@ -1,0 +1,83 @@
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+module B = Dfg.Builder
+module Rng = Rb_util.Rng
+module Schedule = Rb_sched.Schedule
+
+let random_dfg ?(n_ops = 20) ?(n_inputs = 4) seed =
+  let rng = Rng.create seed in
+  let b = B.create (Printf.sprintf "random%d" seed) in
+  let inputs = Array.init n_inputs (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  let results = ref [] in
+  let operand () =
+    match (Rng.int rng 10, !results) with
+    | r, (_ :: _ as made) when r < 6 -> List.nth made (Rng.int rng (List.length made))
+    | r, _ when r < 9 -> inputs.(Rng.int rng n_inputs)
+    | _, _ -> B.const (Rng.int rng 256)
+  in
+  for _ = 1 to n_ops do
+    let lhs = operand () and rhs = operand () in
+    let op = if Rng.int rng 3 = 0 then B.mul b lhs rhs else B.add b lhs rhs in
+    results := op :: !results
+  done;
+  B.finish b
+
+let random_trace ?(n = 32) seed dfg =
+  let rng = Rng.create seed in
+  Rb_sim.Trace.generate dfg ~n ~f:(fun _ _ -> Rng.int rng 256)
+
+let skewed_trace ?(n = 64) seed dfg =
+  let rng = Rng.create seed in
+  let palette = [| 0; 7; 64; 200 |] in
+  Rb_sim.Trace.generate dfg ~n ~f:(fun _ _ ->
+      if Rng.int rng 10 < 8 then Rng.pick rng palette else Rng.int rng 256)
+
+let random_valid_binding seed schedule allocation =
+  let rng = Rng.create seed in
+  let dfg = Schedule.dfg schedule in
+  let fu_of_op = Array.make (Dfg.op_count dfg) (-1) in
+  let assign kind cycle =
+    let ops = Array.of_list (Schedule.ops_in_cycle schedule kind cycle) in
+    let fus = Array.of_list (Rb_hls.Allocation.fu_ids allocation kind) in
+    Rng.shuffle rng fus;
+    Array.iteri (fun i op -> fu_of_op.(op) <- fus.(i)) ops
+  in
+  for cycle = 0 to Schedule.n_cycles schedule - 1 do
+    assign Dfg.Add cycle;
+    assign Dfg.Mul cycle
+  done;
+  Rb_hls.Binding.make schedule allocation ~fu_of_op
+
+(* Fig. 2A: OPA(a,b) and OPB(c,d) in clock 1; OPC and OPD consume OPA
+   and OPB; OPE(g, OPB) in clock 2. The concrete wiring is irrelevant
+   to the algorithms (only the schedule and K matter); we keep it
+   acyclic and two-cycle. *)
+let fig2_dfg () =
+  let b = B.create "fig2" in
+  let a = B.input b "a" and b_in = B.input b "b" in
+  let c = B.input b "c" and d = B.input b "d" in
+  let g = B.input b "g" in
+  let opa = B.add ~label:"OPA" b a b_in in
+  let opb = B.add ~label:"OPB" b c d in
+  let opc = B.add ~label:"OPC" b opa opb in
+  let opd = B.add ~label:"OPD" b opa g in
+  let ope = B.add ~label:"OPE" b opb g in
+  List.iter (B.output b) [ opc; opd; ope ];
+  B.finish b
+
+let fig2_schedule dfg = Schedule.make dfg ~cycle_of:[| 0; 0; 1; 1; 1 |]
+
+let minterm_x = Minterm.pack 1 1
+let minterm_y = Minterm.pack 2 2
+
+let fig2_kmatrix dfg =
+  (* Occurrences from Fig. 2A: x: OPA=6 OPB=4 OPC=3 OPD=0 OPE=10;
+                               y: OPA=9 OPB=3 OPC=7 OPD=0 OPE=8. *)
+  Rb_sim.Kmatrix.of_counts dfg
+    [
+      (0, [ (minterm_x, 6); (minterm_y, 9) ]);
+      (1, [ (minterm_x, 4); (minterm_y, 3) ]);
+      (2, [ (minterm_x, 3); (minterm_y, 7) ]);
+      (3, [ (minterm_x, 0); (minterm_y, 0) ]);
+      (4, [ (minterm_x, 10); (minterm_y, 8) ]);
+    ]

@@ -1,0 +1,33 @@
+(** Shared generators for the test suites: random DFGs, schedules,
+    traces and bindings with controlled shapes. *)
+
+val random_dfg : ?n_ops:int -> ?n_inputs:int -> int -> Rb_dfg.Dfg.t
+(** [random_dfg seed] builds a random, valid DFG (mixed add/mul;
+    operands drawn from earlier results, inputs, and constants).
+    Deterministic in [seed]. *)
+
+val random_trace : ?n:int -> int -> Rb_dfg.Dfg.t -> Rb_sim.Trace.t
+(** Uniform-random input trace (deterministic in the seed). *)
+
+val skewed_trace : ?n:int -> int -> Rb_dfg.Dfg.t -> Rb_sim.Trace.t
+(** Heavy-tailed trace: inputs drawn from a 4-value palette most of the
+    time, so minterm histograms have tall heads like real workloads. *)
+
+val random_valid_binding :
+  int -> Rb_sched.Schedule.t -> Rb_hls.Allocation.t -> Rb_hls.Binding.t
+(** A uniformly random binding that satisfies validity (per-cycle
+    random assignment of ops to distinct kind-matched FUs). *)
+
+val fig2_dfg : unit -> Rb_dfg.Dfg.t
+(** The 5-operation, 2-cycle scheduled DFG of paper Fig. 2A (all adds:
+    OPA..OPE). Operation ids 0..4 correspond to OPA..OPE. *)
+
+val fig2_schedule : Rb_dfg.Dfg.t -> Rb_sched.Schedule.t
+(** OPA, OPB in cycle 0; OPC, OPD, OPE in cycle 1 — Fig. 2A. *)
+
+val fig2_kmatrix : Rb_dfg.Dfg.t -> Rb_sim.Kmatrix.t
+(** The expected-occurrence table printed under Fig. 2A: input 'x' is
+    minterm [(1,1)], input 'y' is [(2,2)]. *)
+
+val minterm_x : Rb_dfg.Minterm.t
+val minterm_y : Rb_dfg.Minterm.t

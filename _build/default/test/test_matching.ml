@@ -1,0 +1,144 @@
+module Hungarian = Rb_matching.Hungarian
+
+let check_assignment name matrix expected_cols =
+  let assign = Hungarian.min_cost_assignment matrix in
+  Alcotest.(check (array int)) name expected_cols assign
+
+let test_identity () =
+  check_assignment "diagonal optimum"
+    [| [| 0.0; 9.0; 9.0 |]; [| 9.0; 0.0; 9.0 |]; [| 9.0; 9.0; 0.0 |] |]
+    [| 0; 1; 2 |]
+
+let test_antidiagonal () =
+  check_assignment "anti-diagonal optimum"
+    [| [| 9.0; 9.0; 0.0 |]; [| 9.0; 0.0; 9.0 |]; [| 0.0; 9.0; 9.0 |] |]
+    [| 2; 1; 0 |]
+
+let test_classic_3x3 () =
+  (* Classic example: optimal cost 5 via (0,1) (1,0) (2,2). *)
+  let m = [| [| 4.0; 1.0; 3.0 |]; [| 2.0; 0.0; 5.0 |]; [| 3.0; 2.0; 2.0 |] |] in
+  let assign = Hungarian.min_cost_assignment m in
+  Alcotest.(check (float 1e-9)) "cost 5" 5.0 (Hungarian.assignment_weight m assign)
+
+let test_rectangular () =
+  let m = [| [| 10.0; 1.0; 10.0; 10.0 |]; [| 10.0; 10.0; 10.0; 2.0 |] |] in
+  let assign = Hungarian.min_cost_assignment m in
+  Alcotest.(check (array int)) "uses cheap columns" [| 1; 3 |] assign
+
+let test_max_weight () =
+  let m = [| [| 1.0; 5.0 |]; [| 6.0; 2.0 |] |] in
+  let assign = Hungarian.max_weight_assignment m in
+  Alcotest.(check (array int)) "max picks 5+6" [| 1; 0 |] assign;
+  Alcotest.(check (float 1e-9)) "weight" 11.0 (Hungarian.assignment_weight m assign)
+
+let test_negative_weights () =
+  let m = [| [| -5.0; -1.0 |]; [| -2.0; -8.0 |] |] in
+  let assign = Hungarian.max_weight_assignment m in
+  Alcotest.(check (float 1e-9)) "best of a bad lot" (-3.0) (Hungarian.assignment_weight m assign)
+
+let test_single_cell () =
+  Alcotest.(check (array int)) "1x1" [| 0 |] (Hungarian.min_cost_assignment [| [| 7.0 |] |])
+
+let test_all_equal_weights () =
+  (* any perfect matching is optimal; result must still be a valid
+     injective assignment *)
+  let m = Array.make_matrix 4 6 3.0 in
+  let assign = Hungarian.min_cost_assignment m in
+  Alcotest.(check (float 1e-9)) "cost 12" 12.0 (Hungarian.assignment_weight m assign);
+  Alcotest.(check int) "distinct columns" 4
+    (List.length (List.sort_uniq Int.compare (Array.to_list assign)))
+
+let test_large_random_consistency () =
+  (* max on w == -(min on -w) at a size brute force cannot check *)
+  let rng = Rb_util.Rng.create 2024 in
+  let m = Array.init 40 (fun _ -> Array.init 40 (fun _ -> float_of_int (Rb_util.Rng.int rng 1000))) in
+  let neg = Array.map (Array.map (fun w -> -.w)) m in
+  let a1 = Hungarian.max_weight_assignment m in
+  let a2 = Hungarian.min_cost_assignment neg in
+  Alcotest.(check (float 1e-6)) "duality at 40x40"
+    (Hungarian.assignment_weight m a1)
+    (-. Hungarian.assignment_weight neg a2)
+
+let test_validation_errors () =
+  let invalid name m =
+    match Hungarian.min_cost_assignment m with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  invalid "empty" [||];
+  invalid "empty row" [| [||] |];
+  invalid "ragged" [| [| 1.0; 2.0 |]; [| 1.0 |] |];
+  invalid "too tall" [| [| 1.0 |]; [| 2.0 |] |]
+
+(* Exhaustive optimum via permutation enumeration, for cross-checking. *)
+let brute_force_min matrix =
+  let rows = Array.length matrix and cols = Array.length matrix.(0) in
+  let best = ref infinity in
+  let used = Array.make cols false in
+  let rec go row acc =
+    if row = rows then (if acc < !best then best := acc)
+    else
+      for c = 0 to cols - 1 do
+        if not used.(c) then begin
+          used.(c) <- true;
+          go (row + 1) (acc +. matrix.(row).(c));
+          used.(c) <- false
+        end
+      done
+  in
+  go 0 0.0;
+  !best
+
+let matrix_gen =
+  QCheck2.Gen.(
+    bind (pair (int_range 1 6) (int_range 1 7)) (fun (rows, cols) ->
+        let rows = min rows cols in
+        array_size (return rows)
+          (array_size (return cols) (map float_of_int (int_range 0 50)))))
+
+let qcheck_optimal_vs_brute_force =
+  QCheck2.Test.make ~name:"Hungarian matches brute force" ~count:300 matrix_gen
+    (fun m ->
+      let assign = Hungarian.min_cost_assignment m in
+      abs_float (Hungarian.assignment_weight m assign -. brute_force_min m) < 1e-6)
+
+let qcheck_assignment_valid =
+  QCheck2.Test.make ~name:"assignment is injective and total" ~count:300 matrix_gen
+    (fun m ->
+      let assign = Hungarian.min_cost_assignment m in
+      let cols = Array.length m.(0) in
+      Array.length assign = Array.length m
+      && Array.for_all (fun c -> c >= 0 && c < cols) assign
+      && List.length (List.sort_uniq Int.compare (Array.to_list assign))
+         = Array.length assign)
+
+let qcheck_max_min_duality =
+  QCheck2.Test.make ~name:"max on negated = min" ~count:200 matrix_gen
+    (fun m ->
+      let neg = Array.map (Array.map (fun w -> -.w)) m in
+      let min_a = Hungarian.min_cost_assignment m in
+      let max_a = Hungarian.max_weight_assignment neg in
+      abs_float
+        (Hungarian.assignment_weight m min_a +. Hungarian.assignment_weight neg max_a)
+      < 1e-6)
+
+let () =
+  Alcotest.run "rb_matching"
+    [
+      ( "hungarian",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "anti-diagonal" `Quick test_antidiagonal;
+          Alcotest.test_case "classic 3x3" `Quick test_classic_3x3;
+          Alcotest.test_case "rectangular" `Quick test_rectangular;
+          Alcotest.test_case "max weight" `Quick test_max_weight;
+          Alcotest.test_case "negative weights" `Quick test_negative_weights;
+          Alcotest.test_case "single cell" `Quick test_single_cell;
+          Alcotest.test_case "all equal" `Quick test_all_equal_weights;
+          Alcotest.test_case "40x40 duality" `Quick test_large_random_consistency;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_optimal_vs_brute_force; qcheck_assignment_valid; qcheck_max_min_duality ] );
+    ]

@@ -1,0 +1,414 @@
+module Solver = Rb_sat.Solver
+module Tseitin = Rb_sat.Tseitin
+module Attack = Rb_sat.Attack
+module Netlist = Rb_netlist.Netlist
+module Circuits = Rb_netlist.Circuits
+module Lock = Rb_netlist.Lock
+module Rng = Rb_util.Rng
+
+(* ------------------------------------------------------------- solver *)
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ v ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "model" true (Solver.value s v)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ v ];
+  Solver.add_clause s [ -v ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_empty_clause_unsat () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_implication_chain () =
+  let s = Solver.create () in
+  let n = 50 in
+  let first = Solver.new_vars s n in
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ -(first + i); first + i + 1 ]
+  done;
+  Solver.add_clause s [ first ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "chain propagated" true (Solver.value s (first + n - 1))
+
+let pigeonhole pigeons holes =
+  let s = Solver.create () in
+  let var p h = 1 + (p * holes) + h in
+  ignore (Solver.new_vars s (pigeons * holes));
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> var p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ -(var p1 h); -(var p2 h) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole_unsat () =
+  Alcotest.(check bool) "php(5,4)" true (Solver.solve (pigeonhole 5 4) = Solver.Unsat)
+
+let test_pigeonhole_sat_when_enough_holes () =
+  Alcotest.(check bool) "php(4,4)" true (Solver.solve (pigeonhole 4 4) = Solver.Sat)
+
+let test_incremental_solving () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ a; b ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ -a ];
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.value s b);
+  Solver.add_clause s [ -b ];
+  Alcotest.(check bool) "now unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ -a; b ];
+  Alcotest.(check bool) "assume a" true (Solver.solve ~assumptions:[ a ] s = Solver.Sat);
+  Alcotest.(check bool) "b implied" true (Solver.value s b);
+  Alcotest.(check bool) "assume a and -b fails" true
+    (Solver.solve ~assumptions:[ a; -b ] s = Solver.Unsat);
+  Alcotest.(check bool) "recoverable" true (Solver.solve s = Solver.Sat)
+
+let test_unknown_variable_rejected () =
+  let s = Solver.create () in
+  match Solver.add_clause s [ 3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown variable accepted"
+
+let test_stats_progress () =
+  let s = pigeonhole 5 4 in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "searched" true (st.Solver.conflicts > 0 && st.Solver.propagations > 0)
+
+let eval_clauses clauses value =
+  List.for_all
+    (fun c -> List.exists (fun l -> if l > 0 then value l else not (value (-l))) c)
+    clauses
+
+let qcheck_incremental_matches_batch =
+  (* solving after each clause must end with the same verdict as
+     solving once with all clauses *)
+  QCheck2.Test.make ~name:"incremental solving matches batch" ~count:60
+    QCheck2.Gen.(pair (int_range 0 50_000) (int_range 1 30))
+    (fun (seed, n_clauses) ->
+      let rng = Rng.create seed in
+      let n_vars = 7 in
+      let clauses =
+        List.init n_clauses (fun _ ->
+            List.init 3 (fun _ ->
+                let v = 1 + Rng.int rng n_vars in
+                if Rng.bool rng then v else -v))
+      in
+      let batch = Solver.create () in
+      ignore (Solver.new_vars batch n_vars);
+      List.iter (Solver.add_clause batch) clauses;
+      let incremental = Solver.create () in
+      ignore (Solver.new_vars incremental n_vars);
+      let verdicts =
+        List.map
+          (fun c ->
+            Solver.add_clause incremental c;
+            Solver.solve incremental)
+          clauses
+      in
+      (* verdicts are monotone: once Unsat, always Unsat *)
+      let rec monotone = function
+        | Solver.Unsat :: Solver.Sat :: _ -> false
+        | _ :: rest -> monotone rest
+        | [] -> true
+      in
+      monotone verdicts
+      && List.nth verdicts (List.length verdicts - 1) = Solver.solve batch)
+
+let qcheck_solver_vs_brute_force =
+  QCheck2.Test.make ~name:"CDCL matches brute force on random 3-SAT" ~count:200
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 45))
+    (fun (seed, n_clauses) ->
+      let rng = Rng.create seed in
+      let n_vars = 9 in
+      let clauses =
+        List.init n_clauses (fun _ ->
+            List.init 3 (fun _ ->
+                let v = 1 + Rng.int rng n_vars in
+                if Rng.bool rng then v else -v))
+      in
+      let s = Solver.create () in
+      ignore (Solver.new_vars s n_vars);
+      List.iter (Solver.add_clause s) clauses;
+      let brute =
+        let rec try_model m =
+          m < 1 lsl n_vars
+          && (eval_clauses clauses (fun v -> (m lsr (v - 1)) land 1 = 1) || try_model (m + 1))
+        in
+        try_model 0
+      in
+      match Solver.solve s with
+      | Sat -> brute && eval_clauses clauses (fun v -> Solver.value s v)
+      | Unsat -> not brute)
+
+(* ------------------------------------------------------------ tseitin *)
+
+let test_tseitin_matches_simulation () =
+  let circuit = Circuits.adder ~width:3 in
+  let rng = Rng.create 31 in
+  for _ = 1 to 50 do
+    let inputs = Array.init 6 (fun _ -> Rng.bool rng) in
+    let s = Solver.create () in
+    let inst = Tseitin.encode s circuit in
+    Tseitin.constrain_inputs s inst inputs;
+    Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+    let expected = Netlist.eval circuit ~inputs ~keys:[||] in
+    let got = Array.map (fun v -> Solver.value s v) inst.Tseitin.output_vars in
+    Alcotest.(check (array bool)) "outputs agree" expected got
+  done
+
+let test_tseitin_output_constraint_inverts () =
+  (* Constrain the output of an adder to a value and check the model's
+     inputs actually produce it. *)
+  let circuit = Circuits.adder ~width:3 in
+  let s = Solver.create () in
+  let inst = Tseitin.encode s circuit in
+  let target = [| true; false; true |] in
+  Tseitin.constrain_outputs s inst target;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let inputs = Array.map (fun v -> Solver.value s v) inst.Tseitin.input_vars in
+  Alcotest.(check (array bool)) "witness checks" target
+    (Netlist.eval circuit ~inputs ~keys:[||])
+
+let test_tseitin_shared_variables () =
+  (* Two copies sharing inputs must agree on outputs. *)
+  let circuit = Circuits.multiplier ~width:2 in
+  let s = Solver.create () in
+  let a = Tseitin.encode s circuit in
+  let b = Tseitin.encode s circuit ~input_vars:a.Tseitin.input_vars in
+  (* force a difference: unsatisfiable *)
+  let d = Solver.new_var s in
+  let x = a.Tseitin.output_vars.(0) and y = b.Tseitin.output_vars.(0) in
+  Solver.add_clause s [ -d; x; y ];
+  Solver.add_clause s [ -d; -x; -y ];
+  Solver.add_clause s [ d ];
+  Alcotest.(check bool) "identical copies cannot differ" true (Solver.solve s = Solver.Unsat)
+
+(* ------------------------------------------------------------- dimacs *)
+
+module Dimacs = Rb_sat.Dimacs
+
+let solve_dimacs (d : Dimacs.t) extra =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s d.Dimacs.n_vars);
+  List.iter (Solver.add_clause s) d.Dimacs.clauses;
+  List.iter (Solver.add_clause s) extra;
+  (s, Solver.solve s)
+
+let test_dimacs_roundtrips_through_solver () =
+  (* Pin inputs of the exported CNF and check outputs match simulation. *)
+  let circuit = Circuits.adder ~width:3 in
+  let d = Dimacs.of_netlist circuit in
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    let inputs = Array.init 6 (fun _ -> Rng.bool rng) in
+    let pins =
+      Array.to_list
+        (Array.mapi
+           (fun i v -> [ (if inputs.(i) then v else -v) ])
+           d.Dimacs.input_vars)
+    in
+    let s, result = solve_dimacs d pins in
+    Alcotest.(check bool) "sat" true (result = Solver.Sat);
+    let expected = Netlist.eval circuit ~inputs ~keys:[||] in
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool) "output bit" expected.(i) (Solver.value s v))
+      d.Dimacs.output_vars
+  done
+
+let test_dimacs_miter_unsat_for_unlocked () =
+  (* Two copies of an unkeyed circuit can never differ. *)
+  let circuit = Circuits.multiplier ~width:2 in
+  let d = Dimacs.miter circuit in
+  let _, result = solve_dimacs d [] in
+  Alcotest.(check bool) "unsat" true (result = Solver.Unsat)
+
+let test_dimacs_miter_sat_for_locked () =
+  let rng = Rng.create 6 in
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.xor_random ~rng ~key_bits:4 base in
+  let d = Dimacs.miter locked.Lock.circuit in
+  let _, result = solve_dimacs d [] in
+  Alcotest.(check bool) "two keys can disagree" true (result = Solver.Sat)
+
+let test_dimacs_text_format () =
+  let d = Dimacs.of_netlist (Circuits.adder ~width:2) in
+  let text = Dimacs.to_string ~comments:[ "hello" ] d in
+  let lines = String.split_on_char '
+' text in
+  Alcotest.(check bool) "has comment" true (List.mem "c hello" lines);
+  let header = Printf.sprintf "p cnf %d %d" d.Dimacs.n_vars (List.length d.Dimacs.clauses) in
+  Alcotest.(check bool) "has header" true (List.mem header lines);
+  (* every clause line ends in 0 *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> 'c' && line.[0] <> 'p' then
+        Alcotest.(check bool) "terminated" true
+          (String.length line >= 1 && line.[String.length line - 1] = '0'))
+    lines
+
+let test_dimacs_parse_roundtrip () =
+  let d = Dimacs.of_netlist (Circuits.adder ~width:3) in
+  match Dimacs.parse (Dimacs.to_string ~comments:[ "roundtrip" ] d) with
+  | Ok (n_vars, clauses) ->
+    Alcotest.(check int) "vars" d.Dimacs.n_vars n_vars;
+    Alcotest.(check (list (list int))) "clauses" d.Dimacs.clauses clauses
+  | Error e -> Alcotest.fail e
+
+let test_dimacs_parse_errors () =
+  let expect_error text =
+    match Dimacs.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  expect_error "";
+  expect_error "p cnf 2 1\n1 2\n";
+  expect_error "p cnf 1 1\n2 0\n";
+  expect_error "p cnf 2 2\n1 0\n";
+  expect_error "p cnf 2 1\np cnf 2 1\n1 0\n1 0\n"
+
+let test_dimacs_parse_multiline_clause () =
+  match Dimacs.parse "c hi\np cnf 3 1\n1 2\n3 0\n" with
+  | Ok (3, [ [ 1; 2; 3 ] ]) -> ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------- attack *)
+
+let test_attack_breaks_rll () =
+  let rng = Rng.create 42 in
+  let base = Circuits.adder ~width:4 in
+  let locked = Lock.xor_random ~rng ~key_bits:12 base in
+  match Attack.attack_locked locked with
+  | Attack.Broken { key; iterations } ->
+    Alcotest.(check bool) "few iterations" true (iterations < 64);
+    Alcotest.(check bool) "functionally correct key" true (Attack.key_is_correct locked key)
+  | Attack.Budget_exceeded _ -> Alcotest.fail "RLL should fall quickly"
+
+let test_attack_breaks_point_function () =
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 33 ] base in
+  match Attack.attack_locked locked with
+  | Attack.Broken { key; iterations } ->
+    Alcotest.(check bool) "key correct" true (Attack.key_is_correct locked key);
+    (* Point functions force many DIPs relative to RLL on the same
+       circuit: each DIP eliminates few keys. *)
+    Alcotest.(check bool) "needs multiple iterations" true (iterations >= 3)
+  | Attack.Budget_exceeded _ -> Alcotest.fail "should converge on 6-input circuit"
+
+let test_attack_respects_budget () =
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 12; 19 ] base in
+  match Attack.attack_locked ~max_iterations:1 locked with
+  | Attack.Budget_exceeded { iterations } -> Alcotest.(check int) "stopped at 1" 1 iterations
+  | Attack.Broken _ -> Alcotest.fail "cannot converge in one iteration"
+
+let test_attack_breaks_permnet () =
+  let rng = Rng.create 17 in
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.permutation_network ~rng ~layers:4 base in
+  match Attack.attack_locked locked with
+  | Attack.Broken { key; _ } ->
+    Alcotest.(check bool) "key correct" true (Attack.key_is_correct locked key)
+  | Attack.Budget_exceeded _ -> Alcotest.fail "small permnet should fall"
+
+let test_point_function_harder_than_rll () =
+  (* The locked-input count / SAT-resilience trade-off, measured: RLL
+     corrupts many inputs and falls fast; a point function corrupts two
+     and needs more DIPs. *)
+  let base = Circuits.adder ~width:3 in
+  let rng = Rng.create 23 in
+  let rll = Lock.xor_random ~rng ~key_bits:6 base in
+  let pf = Lock.point_function ~minterms:[ 44 ] base in
+  let iters locked =
+    match Attack.attack_locked locked with
+    | Attack.Broken { iterations; _ } -> iterations
+    | Attack.Budget_exceeded { iterations } -> iterations
+  in
+  Alcotest.(check bool) "pf needs at least as many DIPs" true (iters pf >= iters rll)
+
+let test_approximate_attack_on_point_function () =
+  (* A point function hides 1 minterm in 2^8: the approximate attacker
+     stops early with a key that is almost always right. *)
+  let base = Circuits.adder ~width:4 in
+  let locked = Lock.point_function ~minterms:[ 0x42 ] base in
+  let outcome = Attack.approximate ~dip_budget:10 locked in
+  Alcotest.(check bool) "low residual error" true
+    (outcome.Attack.estimated_error_rate < 0.05);
+  Alcotest.(check bool) "bounded work" true (outcome.Attack.dip_iterations <= 10)
+
+let test_approximate_attack_converges_on_rll () =
+  let rng = Rng.create 77 in
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.xor_random ~rng ~key_bits:6 base in
+  let outcome = Attack.approximate ~dip_budget:50 locked in
+  Alcotest.(check bool) "converged exactly" true outcome.Attack.converged;
+  Alcotest.(check bool) "recovered key correct" true
+    (Attack.key_is_correct locked outcome.Attack.key)
+
+let () =
+  Alcotest.run "rb_sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause_unsat;
+          Alcotest.test_case "implication chain" `Quick test_implication_chain;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat_when_enough_holes;
+          Alcotest.test_case "incremental" `Quick test_incremental_solving;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "unknown var" `Quick test_unknown_variable_rejected;
+          Alcotest.test_case "stats" `Quick test_stats_progress;
+        ] );
+      ( "tseitin",
+        [
+          Alcotest.test_case "matches simulation" `Quick test_tseitin_matches_simulation;
+          Alcotest.test_case "output constraints" `Quick test_tseitin_output_constraint_inverts;
+          Alcotest.test_case "shared variables" `Quick test_tseitin_shared_variables;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrips_through_solver;
+          Alcotest.test_case "unlocked miter unsat" `Quick test_dimacs_miter_unsat_for_unlocked;
+          Alcotest.test_case "locked miter sat" `Quick test_dimacs_miter_sat_for_locked;
+          Alcotest.test_case "text format" `Quick test_dimacs_text_format;
+          Alcotest.test_case "parse roundtrip" `Quick test_dimacs_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_dimacs_parse_errors;
+          Alcotest.test_case "multiline clause" `Quick test_dimacs_parse_multiline_clause;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "breaks RLL" `Quick test_attack_breaks_rll;
+          Alcotest.test_case "breaks point function" `Quick test_attack_breaks_point_function;
+          Alcotest.test_case "budget" `Quick test_attack_respects_budget;
+          Alcotest.test_case "breaks permnet" `Quick test_attack_breaks_permnet;
+          Alcotest.test_case "trade-off measured" `Quick test_point_function_harder_than_rll;
+          Alcotest.test_case "approximate on pf" `Quick test_approximate_attack_on_point_function;
+          Alcotest.test_case "approximate on rll" `Quick test_approximate_attack_converges_on_rll;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_solver_vs_brute_force; qcheck_incremental_matches_batch ] );
+    ]

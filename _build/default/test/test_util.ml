@@ -1,0 +1,258 @@
+module Rng = Rb_util.Rng
+module Combi = Rb_util.Combi
+module Stats = Rb_util.Stats
+module Table = Rb_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 10 14 in
+    Alcotest.(check bool) "bounds" true (v >= 10 && v <= 14);
+    seen.(v - 10) <- true
+  done;
+  Alcotest.(check bool) "all values reached" true (Array.for_all Fun.id seen)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "split streams differ" true !differs
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let values = List.init n (fun _ -> Rng.gaussian rng ~mean:10.0 ~stdev:2.0) in
+  let mean = Stats.mean values in
+  let stdev = Stats.stdev values in
+  Alcotest.(check bool) "mean near 10" true (abs_float (mean -. 10.0) < 0.1);
+  Alcotest.(check bool) "stdev near 2" true (abs_float (stdev -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "multiset preserved" (Array.init 50 Fun.id) sorted;
+  Alcotest.(check bool) "actually moved something" true (arr <> Array.init 50 Fun.id)
+
+(* ---------------------------------------------------------------- Combi *)
+
+let test_choose_values () =
+  List.iter
+    (fun (n, k, expect) -> Alcotest.(check int) (Printf.sprintf "C(%d,%d)" n k) expect (Combi.choose n k))
+    [ (0, 0, 1); (5, 0, 1); (5, 5, 1); (5, 2, 10); (10, 3, 120); (10, 2, 45);
+      (5, 6, 0); (5, -1, 0); (52, 5, 2598960) ]
+
+let test_k_subsets_enumeration () =
+  let subsets = Combi.k_subsets [| 1; 2; 3; 4 |] 2 in
+  Alcotest.(check int) "count" 6 (List.length subsets);
+  Alcotest.(check (list (array int)))
+    "lexicographic order"
+    [ [| 1; 2 |]; [| 1; 3 |]; [| 1; 4 |]; [| 2; 3 |]; [| 2; 4 |]; [| 3; 4 |] ]
+    subsets
+
+let test_k_subsets_edge_cases () =
+  Alcotest.(check (list (array int))) "k=0" [ [||] ] (Combi.k_subsets [| 1; 2 |] 0);
+  Alcotest.(check (list (array int))) "k=n" [ [| 1; 2 |] ] (Combi.k_subsets [| 1; 2 |] 2);
+  Alcotest.(check (list (array int))) "k>n" [] (Combi.k_subsets [| 1; 2 |] 3)
+
+let test_fold_k_subsets_matches_list () =
+  let arr = Array.init 7 Fun.id in
+  for k = 0 to 7 do
+    let from_fold =
+      Combi.fold_k_subsets arr k ~init:[] ~f:(fun acc s -> Array.copy s :: acc)
+      |> List.rev
+    in
+    Alcotest.(check (list (array int)))
+      (Printf.sprintf "k=%d" k) (Combi.k_subsets arr k) from_fold
+  done
+
+let test_cartesian_product () =
+  Alcotest.(check (list (list int)))
+    "2x2" [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ] ]
+    (Combi.cartesian_product [ [ 1; 2 ]; [ 3; 4 ] ]);
+  Alcotest.(check (list (list int))) "empty product" [ [] ] (Combi.cartesian_product []);
+  Alcotest.(check (list (list int))) "empty factor" [] (Combi.cartesian_product [ [ 1 ]; [] ])
+
+let test_fold_cartesian_matches_list () =
+  let choices = [| [| 1; 2 |]; [| 3 |]; [| 4; 5; 6 |] |] in
+  let tuples =
+    Combi.fold_cartesian choices ~init:[] ~f:(fun acc t -> Array.to_list t :: acc)
+    |> List.rev
+  in
+  Alcotest.(check (list (list int)))
+    "same as list product"
+    (Combi.cartesian_product (Array.to_list (Array.map Array.to_list choices)))
+    tuples
+
+let test_product_size_saturates () =
+  Alcotest.(check int) "normal" 24 (Combi.product_size [ 2; 3; 4 ]);
+  Alcotest.(check int) "zero" 0 (Combi.product_size [ 5; 0 ]);
+  Alcotest.(check int) "saturation" max_int
+    (Combi.product_size [ max_int / 2; 3 ])
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_basics () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean []);
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "stdev" 1.0 (Stats.stdev [ 1.0; 2.0; 3.0 ]);
+  check_float "min" 1.0 (Stats.minimum [ 2.0; 1.0; 3.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 2.0; 1.0; 3.0 ])
+
+let test_stats_ratio () =
+  check_float "normal" 2.0 (Stats.ratio ~num:4.0 ~den:2.0);
+  check_float "0/0" 1.0 (Stats.ratio ~num:0.0 ~den:0.0);
+  Alcotest.(check bool) "x/0 infinite" true (Stats.ratio ~num:3.0 ~den:0.0 = infinity)
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "zero" (Invalid_argument "Stats.geomean: non-positive value")
+    (fun () -> ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+(* ---------------------------------------------------------------- Table *)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t ~label:"row1" ~values:[ 1.5; 2.25 ];
+  Table.add_text_row t ~label:"row2" ~cells:[ "x"; "y" ];
+  let s = Table.render t in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (fragment ^ " present") true
+        (contains ~affix:fragment s))
+    [ "demo"; "row1"; "1.50"; "2.25"; "row2"; "x" ]
+
+let test_table_mismatched_row () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_text_row: cell count mismatch")
+    (fun () -> Table.add_row t ~label:"r" ~values:[ 1.0 ])
+
+let test_log_bar () =
+  Alcotest.(check string) "1x is empty" "" (Table.log_bar ~width:30 1.0);
+  Alcotest.(check int) "1000x fills" 30 (String.length (Table.log_bar ~width:30 1000.0));
+  Alcotest.(check int) "10x is a third" 10 (String.length (Table.log_bar ~width:30 10.0));
+  Alcotest.(check string) "sub-1 clamps" "" (Table.log_bar ~width:30 0.5)
+
+(* --------------------------------------------------------------- QCheck *)
+
+let qcheck_choose_symmetry =
+  QCheck2.Test.make ~name:"choose n k = choose n (n-k)" ~count:200
+    QCheck2.Gen.(pair (int_range 0 30) (int_range 0 30))
+    (fun (n, k) -> Combi.choose n k = Combi.choose n (n - k) || k > n)
+
+let qcheck_k_subsets_count =
+  QCheck2.Test.make ~name:"|k_subsets| = choose n k" ~count:50
+    QCheck2.Gen.(pair (int_range 0 9) (int_range 0 9))
+    (fun (n, k) ->
+      let arr = Array.init n Fun.id in
+      List.length (Combi.k_subsets arr k) = Combi.choose n k)
+
+let qcheck_rng_int_bounds =
+  QCheck2.Test.make ~name:"Rng.int in bounds" ~count:500
+    QCheck2.Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_shuffle_multiset =
+  QCheck2.Test.make ~name:"shuffle preserves elements" ~count:100
+    QCheck2.Gen.(pair int (list_size (int_range 0 40) small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let () =
+  Alcotest.run "rb_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "combi",
+        [
+          Alcotest.test_case "choose values" `Quick test_choose_values;
+          Alcotest.test_case "k_subsets enumeration" `Quick test_k_subsets_enumeration;
+          Alcotest.test_case "k_subsets edges" `Quick test_k_subsets_edge_cases;
+          Alcotest.test_case "fold matches list" `Quick test_fold_k_subsets_matches_list;
+          Alcotest.test_case "cartesian product" `Quick test_cartesian_product;
+          Alcotest.test_case "fold_cartesian matches" `Quick test_fold_cartesian_matches_list;
+          Alcotest.test_case "product_size saturates" `Quick test_product_size_saturates;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+          Alcotest.test_case "geomean domain" `Quick test_geomean_rejects_nonpositive;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "mismatched row" `Quick test_table_mismatched_row;
+          Alcotest.test_case "log bar" `Quick test_log_bar;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_choose_symmetry; qcheck_k_subsets_count; qcheck_rng_int_bounds; qcheck_shuffle_multiset ] );
+    ]
