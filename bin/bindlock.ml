@@ -4,6 +4,7 @@
      bindlock list                    benchmarks and their shapes
      bindlock show -b dct             schedule + workload statistics
      bindlock bind -b dct ...         bind/lock one benchmark, report errors
+     bindlock lint                    design-rule check benchmarks + lock gadgets
      bindlock attack ...              run the SAT attack on a locked adder
      bindlock dot -b dct              Graphviz dump of the DFG *)
 
@@ -159,6 +160,103 @@ let bind_cmd =
     Term.(term_result
             (const run $ benchmark_arg $ seed_arg $ binder_arg $ kind_arg $ locked_fus_arg
              $ minterms_arg))
+
+(* ---------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let bench_arg =
+    Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~docv:"NAME"
+           ~doc:"Lint a single benchmark (default: the whole suite plus the \
+                 gate-level lock constructions).")
+  in
+  let format_arg =
+    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT"
+           ~doc:"Report format: text or json.")
+  in
+  let min_lambda_arg =
+    Arg.(value & opt (some float) None & info [ "min-lambda" ] ~docv:"L"
+           ~doc:"SAT-resilience target: error when a locked FU's predicted Eqn. 1 \
+                 iterations fall below $(docv).")
+  in
+  let lint_design b seed locked_fu_count minterms_per_fu min_lambda =
+    let schedule = Benchmark.schedule b in
+    let trace = Benchmark.trace ~seed b in
+    let allocation = Allocation.for_schedule schedule in
+    let k = Kmatrix.build trace in
+    List.filter_map
+      (fun kind ->
+        let fus = Allocation.fu_ids allocation kind in
+        let candidates = Array.of_list (Kmatrix.top_minterms ~kind k ~n:10) in
+        if fus = [] || Array.length candidates = 0 then None
+        else begin
+          let n_locked = min locked_fu_count (List.length fus) in
+          let spec =
+            { Rb_core.Codesign.scheme = Scheme.Sfll_rem;
+              locked_fus = List.filteri (fun i _ -> i < n_locked) fus;
+              minterms_per_fu = min minterms_per_fu (Array.length candidates);
+              candidates }
+          in
+          let sol = Rb_core.Codesign.heuristic k schedule allocation spec in
+          let binding = sol.Rb_core.Codesign.binding in
+          Some
+            (Rb_lint.Lint.design ?min_lambda ~candidates
+               ~config:sol.Rb_core.Codesign.config
+               ~registers:(Rb_hls.Registers.count binding)
+               ~transfers:(Rb_lint.Hls_rules.transfer_count binding)
+               ~subject:(Printf.sprintf "%s/%s" b.Benchmark.name (Dfg.kind_label kind))
+               schedule allocation ~fu_of_op:(Binding.fu_array binding))
+        end)
+      [ Dfg.Add; Dfg.Mul ]
+  in
+  let lint_gates seed =
+    let rng = Rb_util.Rng.create seed in
+    let base = Rb_netlist.Circuits.adder ~width:4 in
+    let space = 1 lsl 8 in
+    [
+      Rb_lint.Lint.netlist ~subject:"adder(4)" base;
+      Rb_lint.Lint.netlist ~subject:"multiplier(4)" (Rb_netlist.Circuits.multiplier ~width:4);
+      Rb_lint.Lint.locked (Rb_netlist.Lock.xor_random ~rng ~key_bits:4 base);
+      Rb_lint.Lint.locked
+        (Rb_netlist.Lock.point_function
+           ~minterms:[ Rb_util.Rng.int rng space; Rb_util.Rng.int rng space ]
+           base);
+      Rb_lint.Lint.locked (Rb_netlist.Lock.anti_sat ~rng base);
+      Rb_lint.Lint.locked (Rb_netlist.Lock.permutation_network ~rng ~layers:2 base);
+    ]
+  in
+  let run bench seed locked_fu_count minterms_per_fu min_lambda format =
+    let benches =
+      match bench with
+      | None -> Ok (Benchmark.all ())
+      | Some name -> Result.map (fun b -> [ b ]) (lookup name)
+    in
+    Result.bind benches (fun benches ->
+        let reports =
+          (if bench = None then lint_gates seed else [])
+          @ List.concat_map
+              (fun b -> lint_design b seed locked_fu_count minterms_per_fu min_lambda)
+              benches
+        in
+        (match format with
+         | `Json -> print_endline (Rb_lint.Report.json_of_reports reports)
+         | `Text ->
+           List.iter (fun r -> Format.printf "%a@." Rb_lint.Report.pp r) reports);
+        match Rb_lint.Report.total_errors reports with
+        | 0 -> Ok ()
+        | n ->
+          Error (`Msg (Printf.sprintf "lint: %d error%s in %d subject%s" n
+                         (if n = 1 then "" else "s")
+                         (List.length reports)
+                         (if List.length reports = 1 then "" else "s"))))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Design-rule check: netlist, binding and locking-config rules over the \
+             benchmark suite (non-zero exit on errors).")
+    Term.(term_result
+            (const run $ bench_arg $ seed_arg $ locked_fus_arg $ minterms_arg
+             $ min_lambda_arg $ format_arg))
 
 (* -------------------------------------------------------------- attack *)
 
@@ -359,5 +457,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; bind_cmd; custom_cmd; attack_cmd; export_cnf_cmd;
-            export_dfg_cmd; dot_cmd ]))
+          [ list_cmd; show_cmd; bind_cmd; lint_cmd; custom_cmd; attack_cmd;
+            export_cnf_cmd; export_dfg_cmd; dot_cmd ]))

@@ -10,6 +10,14 @@ module Combi = Rb_util.Combi
 module Rng = Rb_util.Rng
 module Stats = Rb_util.Stats
 
+(* Every binding/config this module produces is asserted lint-clean
+   before it is measured, so a regression in a binder or the co-design
+   search fails loudly instead of skewing a figure. *)
+let assert_lint ?config ?candidates ~subject schedule allocation binding =
+  Rb_lint.Lint.assert_clean
+    (Rb_lint.Lint.design ?config ?candidates ~subject schedule allocation
+       ~fu_of_op:(Binding.fu_array binding))
+
 type context = {
   benchmark : string;
   schedule : Schedule.t;
@@ -28,6 +36,8 @@ let context ?(n_candidates = 10) ~name schedule trace =
   let profile = Profile.build trace in
   let area_binding = Rb_hls.Area_binding.bind schedule allocation in
   let power_binding = Rb_hls.Power_binding.bind schedule allocation ~profile in
+  assert_lint ~subject:(name ^ "/area-binding") schedule allocation area_binding;
+  assert_lint ~subject:(name ^ "/power-binding") schedule allocation power_binding;
   let top kind = Array.of_list (Kmatrix.top_minterms ~kind k ~n:n_candidates) in
   {
     benchmark = name;
@@ -166,6 +176,11 @@ let sweep ?(seed = 7) ?(max_combos_per_config = 2000) ?(max_optimal_assignments 
         run_codesign_optimal ~max_optimal_assignments ctx.k ctx.schedule ctx.allocation spec
       in
       let heur = Codesign.heuristic ctx.k ctx.schedule ctx.allocation spec in
+      assert_lint ~config:heur.Codesign.config ~candidates
+        ~subject:
+          (Printf.sprintf "%s/%s/%dFU x %dm/codesign" ctx.benchmark
+             (Dfg.kind_label kind) locked_fu_count minterms_per_fu)
+        ctx.schedule ctx.allocation heur.Codesign.binding;
       {
         kind;
         locked_fu_count;
@@ -276,7 +291,8 @@ type overhead_result = {
 let overhead ?(seed = 11) ?(combos_per_config = 10) ctx =
   let obf_regs = ref [] and obf_sw = ref [] in
   let cd_regs = ref [] and cd_sw = ref [] in
-  let note_binding regs sw binding =
+  let note_binding regs sw ~subject config binding =
+    assert_lint ~config ~subject ctx.schedule ctx.allocation binding;
     regs := float_of_int (Rb_hls.Registers.count binding) :: !regs;
     sw := Rb_hls.Switching.rate binding ctx.profile :: !sw
   in
@@ -313,7 +329,8 @@ let overhead ?(seed = 11) ?(combos_per_config = 10) ctx =
                     let binding =
                       Obf_binding.bind ctx.k config ctx.schedule ctx.allocation
                     in
-                    note_binding obf_regs obf_sw binding
+                    note_binding obf_regs obf_sw
+                      ~subject:(ctx.benchmark ^ "/overhead/obf-aware") config binding
                   done;
                   (* Co-design heuristic binding, one per configuration. *)
                   let spec =
@@ -325,7 +342,9 @@ let overhead ?(seed = 11) ?(combos_per_config = 10) ctx =
                     }
                   in
                   let heur = Codesign.heuristic ctx.k ctx.schedule ctx.allocation spec in
-                  note_binding cd_regs cd_sw heur.Codesign.binding
+                  note_binding cd_regs cd_sw
+                    ~subject:(ctx.benchmark ^ "/overhead/codesign") heur.Codesign.config
+                    heur.Codesign.binding
                 end)
               [ 1; 2; 3 ])
         [ 1; 2; 3 ]
@@ -369,6 +388,8 @@ let quality ?(locked_fus = 2) ?(minterms_per_fu = 2) ~trace ctx kind =
     in
     let solution = Codesign.heuristic ctx.k ctx.schedule ctx.allocation spec in
     let config = solution.Codesign.config in
+    assert_lint ~config ~candidates ~subject:(ctx.benchmark ^ "/quality/codesign")
+      ctx.schedule ctx.allocation solution.Codesign.binding;
     let measure binding =
       Rb_sim.Exec.application_errors ctx.schedule trace
         ~fu_of_op:(Binding.fu_array binding) ~config
@@ -411,6 +432,9 @@ let post_binding ?(key_bits = 32) ?(locked_fus = 2) ?(minterms_per_fu = 2) ctx k
         minterms_per_fu; candidates }
     in
     let solution = Codesign.heuristic ctx.k ctx.schedule ctx.allocation spec in
+    assert_lint ~config:solution.Codesign.config ~candidates
+      ~subject:(ctx.benchmark ^ "/post-binding/codesign") ctx.schedule ctx.allocation
+      solution.Codesign.binding;
     let input_bits = 2 * Rb_dfg.Word.width in
     let lambda_at minterms =
       Rb_locking.Resilience.lambda_minterms ~key_bits ~correct_keys:1 ~input_bits

@@ -15,7 +15,12 @@
     [max_combos_per_config] are sampled (deterministically); optimal
     co-design spaces larger than [max_optimal_assignments] are re-run
     on a shortened candidate list; ratios floor a zero-error baseline
-    at one error event. *)
+    at one error event.
+
+    Every binding and locking configuration these drivers generate is
+    run through [Rb_lint] before being measured; a rule violation
+    raises [Rb_lint.Lint.Lint_error] instead of silently skewing a
+    figure. *)
 
 module Dfg = Rb_dfg.Dfg
 module Minterm = Rb_dfg.Minterm

@@ -1,0 +1,117 @@
+module Dfg = Rb_dfg.Dfg
+module Schedule = Rb_sched.Schedule
+module Allocation = Rb_hls.Allocation
+module Binding = Rb_hls.Binding
+module D = Diagnostic
+
+let rule_precedence = "HLS-PREC"
+let rule_oversubscribed = "HLS-OVERSUB"
+let rule_kind = "HLS-KIND"
+let rule_cost = "HLS-COST"
+
+let check_schedule schedule =
+  let dfg = Schedule.dfg schedule in
+  let diags = ref [] in
+  for op = 0 to Dfg.op_count dfg - 1 do
+    let cycle = Schedule.cycle_of schedule op in
+    List.iter
+      (fun pred ->
+        let pc = Schedule.cycle_of schedule pred in
+        if pc >= cycle then
+          diags :=
+            D.error ~rule:rule_precedence (D.Op op)
+              (Printf.sprintf
+                 "scheduled in cycle %d but consumes op %d scheduled in cycle %d" cycle
+                 pred pc)
+              ~hint:"single-cycle FUs need every producer strictly before its consumer"
+            :: !diags)
+      (Dfg.predecessors dfg op)
+  done;
+  List.rev !diags
+
+let check_binding schedule allocation ~fu_of_op =
+  let dfg = Schedule.dfg schedule in
+  let n_ops = Dfg.op_count dfg in
+  let total = Allocation.total allocation in
+  if Array.length fu_of_op <> n_ops then
+    [
+      D.error ~rule:rule_kind D.Whole_design
+        (Printf.sprintf "binding covers %d operations, the DFG has %d"
+           (Array.length fu_of_op) n_ops);
+    ]
+  else begin
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    Array.iteri
+      (fun op fu ->
+        if fu < 0 || fu >= total then
+          emit
+            (D.error ~rule:rule_kind (D.Op op)
+               (Printf.sprintf "bound to FU %d, outside the allocation of %d units" fu
+                  total))
+        else begin
+          let want = (Dfg.op dfg op).Dfg.kind in
+          let got = Allocation.kind_of_fu allocation fu in
+          if got <> want then
+            emit
+              (D.error ~rule:rule_kind (D.Op op)
+                 (Printf.sprintf "%s operation bound to %s FU %d" (Dfg.kind_label want)
+                    (Dfg.kind_label got) fu))
+        end)
+      fu_of_op;
+    (* one operation per FU per cycle (Thm. 1) *)
+    let seen = Hashtbl.create 64 in
+    Array.iteri
+      (fun op fu ->
+        if fu >= 0 && fu < total then begin
+          let cycle = Schedule.cycle_of schedule op in
+          match Hashtbl.find_opt seen (cycle, fu) with
+          | Some first ->
+            emit
+              (D.error ~rule:rule_oversubscribed (D.Fu fu)
+                 (Printf.sprintf "executes ops %d and %d in the same cycle %d" first op
+                    cycle)
+                 ~hint:"a valid binding gives each FU at most one operation per cycle")
+          | None -> Hashtbl.add seen (cycle, fu) op
+        end)
+      fu_of_op;
+    List.rev !diags
+  end
+
+let transfer_count binding =
+  let schedule = Binding.schedule binding in
+  let dfg = Schedule.dfg schedule in
+  let count = ref 0 in
+  for op = 0 to Dfg.op_count dfg - 1 do
+    let producer = Binding.fu_of_op binding op in
+    let consumer_fus =
+      Dfg.successors dfg op
+      |> List.map (Binding.fu_of_op binding)
+      |> List.sort_uniq Int.compare
+    in
+    count := !count + List.length (List.filter (fun fu -> fu <> producer) consumer_fus)
+  done;
+  !count
+
+let check_costs ?registers ?transfers binding =
+  let mismatch rule what declared actual =
+    D.error ~rule D.Whole_design
+      (Printf.sprintf "declared %s count %d, but the binding needs %d" what declared
+         actual)
+      ~hint:"regenerate the overhead report from the shipped binding"
+  in
+  let regs =
+    match registers with
+    | Some declared ->
+      let actual = Rb_hls.Registers.count binding in
+      if declared <> actual then [ mismatch rule_cost "register" declared actual ] else []
+    | None -> []
+  in
+  let xfers =
+    match transfers with
+    | Some declared ->
+      let actual = transfer_count binding in
+      if declared <> actual then [ mismatch rule_cost "transfer" declared actual ] else []
+    | None -> []
+  in
+  regs @ xfers

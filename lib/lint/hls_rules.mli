@@ -1,0 +1,42 @@
+(** HLS design rules — schedules, bindings, and their cost reports.
+
+    These rules re-check the invariants the paper's theorems lean on
+    (Thm. 1: binding validity per cycle) on {e raw} artifacts, so a
+    broken schedule or operation-to-FU array produced outside
+    {!Rb_hls.Binding.make}'s guarded constructor is diagnosed instead
+    of raising. Rules:
+
+    - {!rule_precedence} [HLS-PREC] (error): an operation is scheduled
+      no later than one of its operand producers — the schedule
+      violates DFG precedence.
+    - {!rule_oversubscribed} [HLS-OVERSUB] (error): two operations in
+      the same cycle are bound to the same FU (paper Thm. 1's validity
+      condition).
+    - {!rule_kind} [HLS-KIND] (error): an operation is bound to an FU
+      of the wrong kind, to an FU outside the allocation, or the
+      binding array does not cover the DFG.
+    - {!rule_cost} [HLS-COST] (error): a declared register or transfer
+      count disagrees with the counts recomputed from the binding —
+      the overhead report does not describe the design it ships with. *)
+
+val rule_precedence : string
+val rule_oversubscribed : string
+val rule_kind : string
+val rule_cost : string
+
+val check_schedule : Rb_sched.Schedule.t -> Diagnostic.t list
+
+val check_binding :
+  Rb_sched.Schedule.t -> Rb_hls.Allocation.t -> fu_of_op:int array -> Diagnostic.t list
+(** Validity of a raw operation-to-FU map against a schedule and an
+    allocation, without constructing a {!Rb_hls.Binding.t}. *)
+
+val transfer_count : Rb_hls.Binding.t -> int
+(** Cross-FU value movements: for every operation, the number of
+    distinct consumer FUs other than the producing FU. The transfer
+    metric the area-aware binder [20] trades against registers. *)
+
+val check_costs :
+  ?registers:int -> ?transfers:int -> Rb_hls.Binding.t -> Diagnostic.t list
+(** Cross-check declared overhead numbers against
+    {!Rb_hls.Registers.count} and {!transfer_count}. *)

@@ -1,0 +1,36 @@
+exception Lint_error of Report.t
+
+let netlist ?(subject = "netlist") c = Report.make ~subject (Netlist_rules.check c)
+
+let locked ?subject (l : Rb_netlist.Lock.locked) =
+  let subject =
+    match subject with Some s -> s | None -> l.Rb_netlist.Lock.description
+  in
+  Report.make ~subject (Netlist_rules.check l.Rb_netlist.Lock.circuit)
+
+let design ?min_lambda ?key_bits ?candidates ?config ?registers ?transfers ~subject
+    schedule allocation ~fu_of_op =
+  let sched_diags = Hls_rules.check_schedule schedule in
+  let bind_diags = Hls_rules.check_binding schedule allocation ~fu_of_op in
+  let lock_diags =
+    match config with
+    | None -> []
+    | Some config ->
+      let input_bits = 2 * Rb_dfg.Word.width in
+      Locking_rules.check_config ?min_lambda ?key_bits ?candidates ~input_bits config
+  in
+  let cost_diags =
+    if sched_diags = [] && bind_diags = [] && (registers <> None || transfers <> None)
+    then
+      Hls_rules.check_costs ?registers ?transfers
+        (Rb_hls.Binding.make schedule allocation ~fu_of_op)
+    else []
+  in
+  Report.make ~subject (sched_diags @ bind_diags @ lock_diags @ cost_diags)
+
+let assert_clean report = if not (Report.is_clean report) then raise (Lint_error report)
+
+let () =
+  Printexc.register_printer (function
+    | Lint_error report -> Some (Format.asprintf "Lint_error:@.%a" Report.pp report)
+    | _ -> None)

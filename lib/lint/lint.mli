@@ -1,0 +1,51 @@
+(** Rb_lint — a design-rule checker for netlists, bindings and locking
+    configurations.
+
+    Every security claim in this reproduction rests on structural
+    invariants: key gates must sit on live logic or the SAT attack
+    trivially wins, bindings must never double-book an FU in a cycle
+    (paper Thm. 1), and locking configs must respect the Eqn. 1
+    resilience bound. This library checks those invariants statically
+    — before simulation or SAT attack — over three layers:
+    {!Netlist_rules} (gate level), {!Hls_rules} (schedule/binding),
+    {!Locking_rules} (configuration). Each rule set returns
+    {!Diagnostic.t} lists; this module bundles them into {!Report.t}s
+    for whole artifacts and provides the assertion hook the experiment
+    drivers run on every generated design.
+
+    The [bindlock lint] subcommand is the command-line front end; text
+    and JSON rendering live in {!Report}. *)
+
+exception Lint_error of Report.t
+(** Raised by {!assert_clean}; carries the offending report. *)
+
+val netlist : ?subject:string -> Rb_netlist.Netlist.t -> Report.t
+(** Run the gate-level rules. [subject] defaults to ["netlist"]. *)
+
+val locked : ?subject:string -> Rb_netlist.Lock.locked -> Report.t
+(** {!netlist} on a locked circuit; the subject defaults to the
+    construction's description string. *)
+
+val design :
+  ?min_lambda:float ->
+  ?key_bits:int ->
+  ?candidates:Rb_dfg.Minterm.t array ->
+  ?config:Rb_locking.Config.t ->
+  ?registers:int ->
+  ?transfers:int ->
+  subject:string ->
+  Rb_sched.Schedule.t ->
+  Rb_hls.Allocation.t ->
+  fu_of_op:int array ->
+  Report.t
+(** Check one bound (and optionally locked) design: schedule
+    precedence, binding validity, the locking rules when [config] is
+    given (over the word-level FU input space,
+    [input_bits = 2 * Word.width]), and declared-cost consistency when
+    [registers]/[transfers] are given. Cost cross-checks are skipped
+    when the binding itself is invalid (there is no meaningful cost to
+    recompute). *)
+
+val assert_clean : Report.t -> unit
+(** Raise {!Lint_error} if the report has errors; the experiment
+    drivers wrap every generated design in this. *)

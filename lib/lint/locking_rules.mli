@@ -1,0 +1,36 @@
+(** Locking-configuration design rules.
+
+    A locking configuration can be structurally valid yet useless: lock
+    too many minterms and the Eqn. 1 SAT-iteration bound collapses;
+    lock the same minterm on two FUs and half the key budget buys
+    nothing; lock minterms the workload never exercises and Eqn. 2
+    counts zero. Rules:
+
+    - {!rule_resilience} [LOCK-RESIL] (error): a locked FU's predicted
+      SAT-attack iterations (Eqn. 1, {!Rb_locking.Resilience}) fall
+      below the designer's target.
+    - {!rule_overlap} [LOCK-OVERLAP] (warning): two locked FUs share a
+      locked minterm — wasted key budget, since each FU corrupts
+      independently.
+    - {!rule_candidates} [LOCK-CAND] (error): a locked minterm is
+      outside the supplied candidate list [C] — the co-design pipeline
+      only reasons about candidates, so an off-list minterm means the
+      config was not produced by (or drifted from) the search. *)
+
+module Minterm = Rb_dfg.Minterm
+
+val rule_resilience : string
+val rule_overlap : string
+val rule_candidates : string
+
+val check_config :
+  ?min_lambda:float ->
+  ?key_bits:int ->
+  ?candidates:Minterm.t array ->
+  input_bits:int ->
+  Rb_locking.Config.t ->
+  Diagnostic.t list
+(** [min_lambda] enables the Eqn. 1 bound check; [key_bits] overrides
+    the scheme-derived per-FU key length (the methodology's fixed key
+    budget); [candidates] enables the candidate-list check. Checks
+    with an absent parameter are skipped. *)

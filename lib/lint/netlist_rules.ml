@@ -1,0 +1,78 @@
+module Netlist = Rb_netlist.Netlist
+module Analysis = Rb_netlist.Analysis
+module D = Diagnostic
+
+let rule_cycle = "NET-CYCLE"
+let rule_dead = "NET-DEAD"
+let rule_key_mute = "NET-KEY-MUTE"
+let rule_key_strip = "NET-KEY-STRIP"
+let rule_const_out = "NET-CONST-OUT"
+
+let check c =
+  let n_inputs = Netlist.n_inputs c in
+  let n_keys = Netlist.n_keys c in
+  let base = n_inputs + n_keys in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* structural well-formedness *)
+  List.iter
+    (fun (gate, net) ->
+      emit
+        (D.error ~rule:rule_cycle (D.Gate gate)
+           (Printf.sprintf
+              "operand references net %d, which gate %d (driving net %d) may not read"
+              net gate (base + gate))
+           ~hint:"gates may only read inputs, keys and earlier gates; a forward \
+                  reference is a combinational cycle"))
+    (Analysis.structural_errors c);
+  List.iter
+    (fun (pos, net) ->
+      emit
+        (D.error ~rule:rule_cycle (D.Output pos)
+           (Printf.sprintf "output declared on nonexistent net %d" net)))
+    (Analysis.invalid_outputs c);
+  let cone = Analysis.output_cone c in
+  let live = Analysis.live_nets c in
+  let consts = Analysis.constants c in
+  (* dead gates *)
+  Array.iteri
+    (fun i _ ->
+      if not cone.(base + i) then
+        emit
+          (D.warning ~rule:rule_dead (D.Gate i)
+             (Printf.sprintf "gate drives net %d but feeds no output" (base + i))
+             ~hint:"remove the gate or route it into an output cone"))
+    (Netlist.gates c);
+  (* key influence *)
+  for k = 0 to n_keys - 1 do
+    let net = n_inputs + k in
+    if not cone.(net) then
+      emit
+        (D.error ~rule:rule_key_mute (D.Key_input k)
+           "key input has no structural path to any output"
+           ~hint:"an unconnected key bit adds no security; wire the key gate into \
+                  live logic or drop the bit")
+    else if not live.(net) then
+      emit
+        (D.error ~rule:rule_key_strip (D.Key_input k)
+           "every path from this key input to an output is cut by constant folding"
+           ~hint:"the lock is removable by constant propagation (e.g. k XOR k); \
+                  re-insert the key gate on non-redundant logic")
+  done;
+  (* outputs driven by keys or constants *)
+  Array.iteri
+    (fun pos net ->
+      if net >= n_inputs && net < base then
+        emit
+          (D.error ~rule:rule_const_out (D.Output pos)
+             (Printf.sprintf "output is key input %d itself — the key bit is observable"
+                (net - n_inputs)))
+      else if net >= 0 && net < Netlist.n_nets c then
+        match consts.(net) with
+        | Analysis.Known v ->
+          emit
+            (D.warning ~rule:rule_const_out (D.Output pos)
+               (Printf.sprintf "output is statically constant %b" v))
+        | Analysis.Unknown -> ())
+    (Netlist.outputs c);
+  List.rev !diags

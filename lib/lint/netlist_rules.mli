@@ -1,0 +1,38 @@
+(** Gate-level design rules.
+
+    Every locking construction is only as strong as the netlist that
+    carries it: a key gate behind a combinational defect, outside every
+    output cone, or removable by constant folding contributes zero
+    corruption while still advertising key bits — exactly the malformed
+    lock constructions (InterLock/SRCLock-style collapses) that fall to
+    trivial attacks. Rules:
+
+    - {!rule_cycle} [NET-CYCLE] (error): a gate operand is negative,
+      out of range, or a forward reference — a combinational cycle in
+      graph terms. Also fired for output declarations naming
+      nonexistent nets.
+    - {!rule_dead} [NET-DEAD] (warning): a gate outside every output
+      cone — dead silicon that a synthesizer would strip.
+    - {!rule_key_mute} [NET-KEY-MUTE] (error): a key input with no
+      structural path to any output; its key bits are free to the
+      attacker.
+    - {!rule_key_strip} [NET-KEY-STRIP] (error): a key input whose
+      every path to an output is cut by constant propagation
+      (e.g. [k XOR k] feeding the logic) — the lock is trivially
+      strippable.
+    - {!rule_const_out} [NET-CONST-OUT]: an output driven directly by
+      a key input (error — it leaks the key bit on an observable pin)
+      or statically constant (warning).
+
+    All structural work is delegated to {!Rb_netlist.Analysis}, so the
+    checks terminate on arbitrary {!Rb_netlist.Netlist.unchecked}
+    circuits. *)
+
+val rule_cycle : string
+val rule_dead : string
+val rule_key_mute : string
+val rule_key_strip : string
+val rule_const_out : string
+
+val check : Rb_netlist.Netlist.t -> Diagnostic.t list
+(** Run every gate-level rule. *)

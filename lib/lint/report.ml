@@ -1,0 +1,81 @@
+type t = { subject : string; diagnostics : Diagnostic.t list }
+
+let make ~subject diagnostics =
+  { subject; diagnostics = List.sort Diagnostic.compare diagnostics }
+
+let subject t = t.subject
+let diagnostics t = t.diagnostics
+
+let errors t =
+  List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) t.diagnostics
+
+let error_count t = List.length (errors t)
+
+let warning_count t =
+  List.length
+    (List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Warning) t.diagnostics)
+
+let is_clean t = error_count t = 0
+
+let total_errors reports = List.fold_left (fun acc r -> acc + error_count r) 0 reports
+
+let pp fmt t =
+  let e = error_count t and w = warning_count t in
+  if t.diagnostics = [] then Format.fprintf fmt "%s: clean" t.subject
+  else begin
+    Format.fprintf fmt "@[<v>%s: %d error%s, %d warning%s" t.subject e
+      (if e = 1 then "" else "s")
+      w
+      (if w = 1 then "" else "s");
+    List.iter (fun d -> Format.fprintf fmt "@,  @[<v>%a@]" Diagnostic.pp d) t.diagnostics;
+    Format.fprintf fmt "@]"
+  end
+
+(* ------------------------------------------------------------- JSON *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_location loc =
+  let obj kind index = Printf.sprintf {|{"kind":"%s","index":%d}|} kind index in
+  match loc with
+  | Diagnostic.Net n -> obj "net" n
+  | Diagnostic.Gate g -> obj "gate" g
+  | Diagnostic.Key_input k -> obj "key_input" k
+  | Diagnostic.Output o -> obj "output" o
+  | Diagnostic.Op o -> obj "op" o
+  | Diagnostic.Fu f -> obj "fu" f
+  | Diagnostic.Whole_design -> {|{"kind":"design"}|}
+
+let json_of_diagnostic d =
+  let hint =
+    match d.Diagnostic.hint with
+    | Some h -> Printf.sprintf {|,"hint":"%s"|} (escape h)
+    | None -> ""
+  in
+  Printf.sprintf {|{"rule":"%s","severity":"%s","location":%s,"message":"%s"%s}|}
+    (escape d.Diagnostic.rule)
+    (Diagnostic.severity_label d.Diagnostic.severity)
+    (json_of_location d.Diagnostic.location)
+    (escape d.Diagnostic.message)
+    hint
+
+let to_json t =
+  Printf.sprintf {|{"subject":"%s","errors":%d,"warnings":%d,"diagnostics":[%s]}|}
+    (escape t.subject) (error_count t) (warning_count t)
+    (String.concat "," (List.map json_of_diagnostic t.diagnostics))
+
+let json_of_reports reports =
+  Printf.sprintf "[%s]" (String.concat "," (List.map to_json reports))

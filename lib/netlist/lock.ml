@@ -177,9 +177,6 @@ let permutation_network ~rng ~layers c =
   let n_in = Netlist.n_inputs c in
   if n_in < 2 then invalid_arg "Lock.permutation_network: needs >= 2 inputs";
   let pairs_per_layer = n_in / 2 in
-  let n_keys = layers * pairs_per_layer in
-  (* Random controls for the scramble; applied layer 0 .. layers-1. *)
-  let scramble = Array.init layers (fun _ -> Array.init pairs_per_layer (fun _ -> Rng.bool rng)) in
   let layer_pairs l =
     let offset = if l mod 2 = 1 && n_in > 2 then 1 else 0 in
     let rec collect i acc =
@@ -187,6 +184,18 @@ let permutation_network ~rng ~layers c =
     in
     collect offset []
   in
+  (* One key bit per swap actually built: offset (odd) layers of an
+     even-width network have one swap fewer than full layers, so
+     allocating layers * n_in/2 keys would leave dead key inputs —
+     free key bits that Rb_lint flags as NET-KEY-MUTE. *)
+  let n_keys =
+    let rec total l acc =
+      if l >= layers then acc else total (l + 1) (acc + List.length (layer_pairs l))
+    in
+    total 0 0
+  in
+  (* Random controls for the scramble; applied layer 0 .. layers-1. *)
+  let scramble = Array.init layers (fun _ -> Array.init pairs_per_layer (fun _ -> Rng.bool rng)) in
   let apply_fixed perm =
     (* Permute indices according to the scramble controls. *)
     let wires = Array.init n_in Fun.id in
@@ -211,12 +220,14 @@ let permutation_network ~rng ~layers c =
      mirrored layer. *)
   let wires = ref (Array.copy scrambled) in
   let correct_key = Array.make n_keys false in
+  let next_key = ref 0 in
   for l = 0 to layers - 1 do
     let src_layer = layers - 1 - l in
     let next = Array.copy !wires in
     List.iteri
       (fun p (i, j) ->
-        let k_idx = (l * pairs_per_layer) + p in
+        let k_idx = !next_key in
+        incr next_key;
         let kn = B.key b k_idx in
         let w = !wires in
         next.(i) <- B.mux b ~sel:kn ~a:w.(i) ~b:w.(j);

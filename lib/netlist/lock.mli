@@ -53,8 +53,10 @@ val anti_sat : rng:Rb_util.Rng.t -> Netlist.t -> locked
 val permutation_network : rng:Rb_util.Rng.t -> layers:int -> Netlist.t -> locked
 (** Prepend [layers] key-controlled swap layers (2 muxes per swap) to
     the circuit's primary inputs, after scrambling the inputs with a
-    random fixed permutation that the correct key undoes. Key length is
-    [layers * n_inputs / 2]. *)
+    random fixed permutation that the correct key undoes. One key bit
+    per swap: full layers carry [n_inputs / 2] swaps, the brick-offset
+    (odd) layers of an even-width network one fewer, so every key bit
+    drives a real swap. *)
 
 val wrong_key_locked_minterms : locked -> key:bool array -> int list
 (** Exhaustively enumerate the input minterms on which the locked

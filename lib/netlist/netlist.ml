@@ -68,11 +68,17 @@ let eval c ~inputs ~keys =
   Array.map (fun o -> values.(o)) c.outputs
 
 let eval_words c ~inputs ~keys =
+  if c.n_inputs > 62 || c.n_keys > 62 || Array.length c.outputs > 62 then
+    invalid_arg "Netlist.eval_words: more than 62 inputs, keys or outputs";
   let unpack n width = Array.init width (fun i -> (n lsr i) land 1 = 1) in
   let out = eval c ~inputs:(unpack inputs c.n_inputs) ~keys:(unpack keys c.n_keys) in
   Array.to_list out
   |> List.mapi (fun i b -> if b then 1 lsl i else 0)
   |> List.fold_left ( lor ) 0
+
+let unchecked ~n_inputs ~n_keys ~gates ~outputs =
+  if n_inputs < 0 || n_keys < 0 then invalid_arg "Netlist.unchecked";
+  { n_inputs; n_keys; gates = Array.copy gates; outputs = Array.copy outputs }
 
 let fanin_cone_size c root =
   let base = c.n_inputs + c.n_keys in

@@ -47,8 +47,16 @@ val eval : t -> inputs:bool array -> keys:bool array -> bool array
 
 val eval_words : t -> inputs:int -> keys:int -> int
 (** Word-level convenience: bit [i] of [inputs]/[keys] feeds input/key
-    [i] (LSB first); the result packs the outputs the same way. Only
-    valid for circuits with at most 62 inputs, keys and outputs. *)
+    [i] (LSB first); the result packs the outputs the same way. Raises
+    [Invalid_argument] when the circuit has more than 62 inputs, keys
+    or outputs (the packed words would not fit an OCaml [int]). *)
+
+val unchecked : n_inputs:int -> n_keys:int -> gates:gate array -> outputs:net array -> t
+(** Assemble a netlist without the {!Builder}'s structural checks —
+    the entry point for circuits produced outside this library, which
+    may contain forward references, out-of-range operands or dangling
+    outputs. Run such circuits through [Rb_lint] (or {!Analysis})
+    before trusting {!eval} on them. *)
 
 val fanin_cone_size : t -> net -> int
 (** Number of gates in the transitive fan-in of a net; a crude area

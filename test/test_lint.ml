@@ -1,0 +1,361 @@
+module Netlist = Rb_netlist.Netlist
+module Circuits = Rb_netlist.Circuits
+module Lock = Rb_netlist.Lock
+module B = Netlist.Builder
+module Dfg = Rb_dfg.Dfg
+module Minterm = Rb_dfg.Minterm
+module Schedule = Rb_sched.Schedule
+module Allocation = Rb_hls.Allocation
+module Binding = Rb_hls.Binding
+module Config = Rb_locking.Config
+module Scheme = Rb_locking.Scheme
+module Rng = Rb_util.Rng
+module Diagnostic = Rb_lint.Diagnostic
+module Report = Rb_lint.Report
+module Netlist_rules = Rb_lint.Netlist_rules
+module Hls_rules = Rb_lint.Hls_rules
+module Locking_rules = Rb_lint.Locking_rules
+module Lint = Rb_lint.Lint
+
+let rules_of diags = List.map (fun d -> d.Diagnostic.rule) diags
+
+let has_rule rule diags = List.mem rule (rules_of diags)
+
+let check_fires name rule diags =
+  Alcotest.(check bool) (name ^ " fires " ^ rule) true (has_rule rule diags)
+
+let check_silent name rule diags =
+  Alcotest.(check bool) (name ^ " does not fire " ^ rule) false (has_rule rule diags)
+
+(* ------------------------------------------------- netlist rule fixtures *)
+
+let test_net_cycle () =
+  (* gate 0 drives net 1 but reads net 2 — a forward reference, i.e. a
+     combinational cycle; only constructible through Netlist.unchecked *)
+  let c =
+    Netlist.unchecked ~n_inputs:1 ~n_keys:0
+      ~gates:[| Netlist.And (0, 2); Netlist.Buf (1) |]
+      ~outputs:[| 2 |]
+  in
+  let diags = Netlist_rules.check c in
+  check_fires "forward ref" Netlist_rules.rule_cycle diags;
+  (* output naming a nonexistent net *)
+  let c =
+    Netlist.unchecked ~n_inputs:1 ~n_keys:0 ~gates:[| Netlist.Not 0 |] ~outputs:[| 9 |]
+  in
+  check_fires "dangling output" Netlist_rules.rule_cycle (Netlist_rules.check c)
+
+let test_net_dead () =
+  let b = B.create ~n_inputs:1 ~n_keys:0 in
+  let x = B.input b 0 in
+  let (_ : Netlist.net) = B.not_ b x in
+  (* dead: feeds nothing *)
+  B.output b (B.and_ b x x);
+  let diags = Netlist_rules.check (B.finish b) in
+  check_fires "dead gate" Netlist_rules.rule_dead diags;
+  Alcotest.(check bool) "dead gate is only a warning" true
+    (List.for_all (fun d -> d.Diagnostic.severity <> Diagnostic.Error) diags)
+
+let test_net_key_mute () =
+  (* the key input is never wired into the circuit at all *)
+  let b = B.create ~n_inputs:1 ~n_keys:1 in
+  B.output b (B.not_ b (B.input b 0));
+  let diags = Netlist_rules.check (B.finish b) in
+  check_fires "unconnected key" Netlist_rules.rule_key_mute diags;
+  check_silent "unconnected key" Netlist_rules.rule_key_strip diags
+
+let test_net_key_strip () =
+  (* k XOR k = 0 feeds the output XOR: structurally connected, but
+     constant folding removes the key entirely *)
+  let b = B.create ~n_inputs:1 ~n_keys:1 in
+  let x = B.input b 0 and k = B.key b 0 in
+  let kk = B.xor_ b k k in
+  B.output b (B.xor_ b x kk);
+  let diags = Netlist_rules.check (B.finish b) in
+  check_fires "strippable key" Netlist_rules.rule_key_strip diags;
+  check_silent "strippable key" Netlist_rules.rule_key_mute diags
+
+let test_net_const_out () =
+  (* output wired straight to a key input: observable key bit, error *)
+  let b = B.create ~n_inputs:1 ~n_keys:1 in
+  B.output b (B.key b 0);
+  B.output b (B.not_ b (B.input b 0));
+  let diags = Netlist_rules.check (B.finish b) in
+  check_fires "key output" Netlist_rules.rule_const_out diags;
+  Alcotest.(check bool) "key output is an error" true
+    (List.exists
+       (fun d ->
+         d.Diagnostic.rule = Netlist_rules.rule_const_out
+         && d.Diagnostic.severity = Diagnostic.Error)
+       diags);
+  (* statically-constant output: warning only *)
+  let b = B.create ~n_inputs:2 ~n_keys:0 in
+  let x = B.input b 0 in
+  B.output b (B.and_ b x (B.not_ b x));
+  (* x AND not x: unknown to the folder (no same-net rule), so use a
+     literal constant instead *)
+  let b = B.create ~n_inputs:1 ~n_keys:0 in
+  B.output b (B.const b true);
+  B.output b (B.not_ b (B.input b 0));
+  let report = Lint.netlist (B.finish b) in
+  check_fires "const output" Netlist_rules.rule_const_out (Report.diagnostics report);
+  Alcotest.(check bool) "const output alone stays clean" true (Report.is_clean report)
+
+let test_clean_adder_has_no_diags () =
+  let report = Lint.netlist (Circuits.adder ~width:4) in
+  Alcotest.(check (list string)) "no diagnostics at all" []
+    (rules_of (Report.diagnostics report))
+
+(* ----------------------------------------------------- HLS rule fixtures *)
+
+(* two independent adds and one dependent add: op2 consumes op0 *)
+let little_dfg () =
+  let b = Dfg.Builder.create "lint-fixture" in
+  let x = Dfg.Builder.input b "x" and y = Dfg.Builder.input b "y" in
+  let s0 = Dfg.Builder.add b x y in
+  let s1 = Dfg.Builder.add b x (Dfg.Builder.const 3) in
+  let s2 = Dfg.Builder.add b s0 y in
+  Dfg.Builder.output b s1;
+  Dfg.Builder.output b s2;
+  Dfg.Builder.finish b
+
+let test_hls_precedence () =
+  let dfg = little_dfg () in
+  (* op2 consumes op0 but is scheduled in the same cycle *)
+  let schedule = Schedule.make dfg ~cycle_of:[| 0; 0; 0 |] in
+  let diags = Hls_rules.check_schedule schedule in
+  check_fires "same-cycle producer" Hls_rules.rule_precedence diags;
+  let good = Schedule.make dfg ~cycle_of:[| 0; 0; 1 |] in
+  Alcotest.(check (list string)) "valid schedule is silent" []
+    (rules_of (Hls_rules.check_schedule good))
+
+let test_hls_oversubscribed () =
+  let dfg = little_dfg () in
+  let schedule = Schedule.make dfg ~cycle_of:[| 0; 0; 1 |] in
+  let allocation = { Allocation.adders = 2; multipliers = 0 } in
+  (* ops 0 and 1 share cycle 0 yet both sit on FU 0 *)
+  let diags = Hls_rules.check_binding schedule allocation ~fu_of_op:[| 0; 0; 0 |] in
+  check_fires "double-booked FU" Hls_rules.rule_oversubscribed diags;
+  let ok = Hls_rules.check_binding schedule allocation ~fu_of_op:[| 0; 1; 0 |] in
+  Alcotest.(check (list string)) "valid binding is silent" [] (rules_of ok)
+
+let test_hls_kind () =
+  let dfg = little_dfg () in
+  let schedule = Schedule.make dfg ~cycle_of:[| 0; 0; 1 |] in
+  let allocation = { Allocation.adders = 2; multipliers = 1 } in
+  (* FU 2 is the multiplier; op 1 is an add *)
+  let diags = Hls_rules.check_binding schedule allocation ~fu_of_op:[| 0; 2; 0 |] in
+  check_fires "wrong-kind FU" Hls_rules.rule_kind diags;
+  (* out-of-range FU *)
+  let diags = Hls_rules.check_binding schedule allocation ~fu_of_op:[| 0; 9; 0 |] in
+  check_fires "out-of-range FU" Hls_rules.rule_kind diags;
+  (* array of the wrong length *)
+  let diags = Hls_rules.check_binding schedule allocation ~fu_of_op:[| 0 |] in
+  check_fires "short binding" Hls_rules.rule_kind diags
+
+let test_hls_cost () =
+  let dfg = little_dfg () in
+  let schedule = Schedule.make dfg ~cycle_of:[| 0; 0; 1 |] in
+  let allocation = Allocation.for_schedule schedule in
+  let binding = Rb_hls.Area_binding.bind schedule allocation in
+  let registers = Rb_hls.Registers.count binding in
+  let transfers = Hls_rules.transfer_count binding in
+  Alcotest.(check (list string)) "true counts are silent" []
+    (rules_of (Hls_rules.check_costs ~registers ~transfers binding));
+  check_fires "inflated registers" Hls_rules.rule_cost
+    (Hls_rules.check_costs ~registers:(registers + 1) binding);
+  check_fires "deflated transfers" Hls_rules.rule_cost
+    (Hls_rules.check_costs ~transfers:(transfers + 3) binding)
+
+(* ------------------------------------------------- locking rule fixtures *)
+
+let minterms n = List.init n Minterm.of_int
+
+let test_lock_resilience () =
+  (* 600 locked minterms under a 16-bit key: Eqn. 1 predicts ~700
+     iterations, far under a 10^3 target *)
+  let config = Config.make ~scheme:Scheme.Sfll_rem ~locks:[ (0, minterms 600) ] in
+  let diags =
+    Locking_rules.check_config ~min_lambda:1000.0 ~key_bits:16 ~input_bits:16 config
+  in
+  check_fires "over-corrupting config" Locking_rules.rule_resilience diags;
+  (* two minterms under the scheme's own key length is comfortably
+     resilient *)
+  let config = Config.make ~scheme:Scheme.Sfll_rem ~locks:[ (0, minterms 2) ] in
+  Alcotest.(check (list string)) "resilient config is silent" []
+    (rules_of (Locking_rules.check_config ~min_lambda:1000.0 ~input_bits:16 config))
+
+let test_lock_overlap () =
+  let shared = Minterm.pack 3 7 in
+  let config =
+    Config.make ~scheme:Scheme.Sfll_rem
+      ~locks:[ (0, [ shared; Minterm.pack 1 1 ]); (2, [ shared; Minterm.pack 2 2 ]) ]
+  in
+  let diags = Locking_rules.check_config ~input_bits:16 config in
+  check_fires "shared minterm" Locking_rules.rule_overlap diags;
+  Alcotest.(check bool) "overlap is only a warning" true
+    (List.for_all (fun d -> d.Diagnostic.severity = Diagnostic.Warning) diags)
+
+let test_lock_candidates () =
+  let candidates = [| Minterm.pack 1 1; Minterm.pack 2 2 |] in
+  let config =
+    Config.make ~scheme:Scheme.Sfll_rem ~locks:[ (0, [ Minterm.pack 9 9 ]) ]
+  in
+  let diags = Locking_rules.check_config ~candidates ~input_bits:16 config in
+  check_fires "off-list minterm" Locking_rules.rule_candidates diags;
+  let config = Config.make ~scheme:Scheme.Sfll_rem ~locks:[ (0, [ candidates.(0) ]) ] in
+  Alcotest.(check (list string)) "on-list minterm is silent" []
+    (rules_of (Locking_rules.check_config ~candidates ~input_bits:16 config))
+
+(* ---------------------------------------------------- report + reporters *)
+
+let test_report_order_and_counts () =
+  let report =
+    Report.make ~subject:"fixture"
+      [
+        Diagnostic.warning ~rule:"Z-WARN" Diagnostic.Whole_design "later";
+        Diagnostic.error ~rule:"A-ERR" (Diagnostic.Gate 1) "first";
+      ]
+  in
+  Alcotest.(check int) "errors" 1 (Report.error_count report);
+  Alcotest.(check int) "warnings" 1 (Report.warning_count report);
+  Alcotest.(check bool) "not clean" false (Report.is_clean report);
+  (match Report.diagnostics report with
+   | [ first; second ] ->
+     Alcotest.(check string) "errors sort first" "A-ERR" first.Diagnostic.rule;
+     Alcotest.(check string) "warnings after" "Z-WARN" second.Diagnostic.rule
+   | _ -> Alcotest.fail "expected two diagnostics")
+
+let test_json_reporter () =
+  let report =
+    Report.make ~subject:{|quo"ted|}
+      [
+        Diagnostic.error ~rule:"NET-CYCLE" (Diagnostic.Gate 3) ~hint:"fix\nit"
+          "bad \"net\"";
+      ]
+  in
+  let json = Report.to_json report in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("json contains " ^ fragment) true
+        (let n = String.length json and m = String.length fragment in
+         let rec go i = i + m <= n && (String.sub json i m = fragment || go (i + 1)) in
+         go 0))
+    [
+      {|"subject":"quo\"ted"|};
+      {|"errors":1|};
+      {|"rule":"NET-CYCLE"|};
+      {|{"kind":"gate","index":3}|};
+      {|"hint":"fix\nit"|};
+      {|"message":"bad \"net\""|};
+    ];
+  Alcotest.(check bool) "array reporter wraps" true
+    (String.length (Report.json_of_reports [ report; report ]) > 2 * String.length json)
+
+let test_assert_clean_raises () =
+  let dirty =
+    Report.make ~subject:"dirty"
+      [ Diagnostic.error ~rule:"NET-CYCLE" Diagnostic.Whole_design "boom" ]
+  in
+  (match Lint.assert_clean dirty with
+   | exception Lint.Lint_error r ->
+     Alcotest.(check string) "carries the report" "dirty" (Report.subject r)
+   | () -> Alcotest.fail "expected Lint_error");
+  Lint.assert_clean (Report.make ~subject:"ok" [])
+
+(* -------------------------------------------- end-to-end cleanliness *)
+
+(* Every benchmark, co-designed and bound, must pass every rule. *)
+let test_benchmarks_lint_clean () =
+  List.iter
+    (fun b ->
+      let schedule = Rb_workload.Benchmark.schedule b in
+      let trace = Rb_workload.Benchmark.trace ~length:64 b in
+      let allocation = Allocation.for_schedule schedule in
+      let k = Rb_sim.Kmatrix.build trace in
+      List.iter
+        (fun kind ->
+          let fus = Allocation.fu_ids allocation kind in
+          let candidates = Array.of_list (Rb_sim.Kmatrix.top_minterms ~kind k ~n:10) in
+          if fus <> [] && Array.length candidates > 0 then begin
+            let spec =
+              {
+                Rb_core.Codesign.scheme = Scheme.Sfll_rem;
+                locked_fus = List.filteri (fun i _ -> i < min 2 (List.length fus)) fus;
+                minterms_per_fu = min 2 (Array.length candidates);
+                candidates;
+              }
+            in
+            let sol = Rb_core.Codesign.heuristic k schedule allocation spec in
+            let binding = sol.Rb_core.Codesign.binding in
+            let report =
+              Lint.design ~candidates ~config:sol.Rb_core.Codesign.config
+                ~registers:(Rb_hls.Registers.count binding)
+                ~transfers:(Hls_rules.transfer_count binding)
+                ~subject:(b.Rb_workload.Benchmark.name ^ "/" ^ Dfg.kind_label kind)
+                schedule allocation ~fu_of_op:(Binding.fu_array binding)
+            in
+            Alcotest.(check bool)
+              (Report.subject report ^ " lint-clean")
+              true (Report.is_clean report)
+          end)
+        [ Dfg.Add; Dfg.Mul ])
+    (Rb_workload.Benchmark.all ())
+
+(* Property: every lock construction, at any width/seed/strength, emits
+   a gate-level-clean circuit. *)
+let qcheck_lock_constructions_lint_clean =
+  QCheck2.Test.make ~name:"lock constructions are lint-clean" ~count:60
+    QCheck2.Gen.(triple (int_range 2 5) (int_range 0 999) (int_range 0 3))
+    (fun (width, seed, which) ->
+      let rng = Rng.create seed in
+      let base = Circuits.adder ~width in
+      let locked =
+        match which with
+        | 0 -> Lock.xor_random ~rng ~key_bits:(1 + (seed mod 4)) base
+        | 1 ->
+          let space = 1 lsl (2 * width) in
+          Lock.point_function
+            ~minterms:[ Rng.int rng space; Rng.int rng space ]
+            base
+        | 2 -> Lock.anti_sat ~rng base
+        | _ -> Lock.permutation_network ~rng ~layers:(1 + (seed mod 4)) base
+      in
+      Report.is_clean (Lint.locked locked))
+
+let () =
+  Alcotest.run "rb_lint"
+    [
+      ( "netlist rules",
+        [
+          Alcotest.test_case "NET-CYCLE" `Quick test_net_cycle;
+          Alcotest.test_case "NET-DEAD" `Quick test_net_dead;
+          Alcotest.test_case "NET-KEY-MUTE" `Quick test_net_key_mute;
+          Alcotest.test_case "NET-KEY-STRIP" `Quick test_net_key_strip;
+          Alcotest.test_case "NET-CONST-OUT" `Quick test_net_const_out;
+          Alcotest.test_case "clean adder" `Quick test_clean_adder_has_no_diags;
+        ] );
+      ( "hls rules",
+        [
+          Alcotest.test_case "HLS-PREC" `Quick test_hls_precedence;
+          Alcotest.test_case "HLS-OVERSUB" `Quick test_hls_oversubscribed;
+          Alcotest.test_case "HLS-KIND" `Quick test_hls_kind;
+          Alcotest.test_case "HLS-COST" `Quick test_hls_cost;
+        ] );
+      ( "locking rules",
+        [
+          Alcotest.test_case "LOCK-RESIL" `Quick test_lock_resilience;
+          Alcotest.test_case "LOCK-OVERLAP" `Quick test_lock_overlap;
+          Alcotest.test_case "LOCK-CAND" `Quick test_lock_candidates;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "order and counts" `Quick test_report_order_and_counts;
+          Alcotest.test_case "json" `Quick test_json_reporter;
+          Alcotest.test_case "assert_clean" `Quick test_assert_clean_raises;
+        ] );
+      ( "end to end",
+        Alcotest.test_case "benchmarks lint-clean" `Slow test_benchmarks_lint_clean
+        :: List.map QCheck_alcotest.to_alcotest
+             [ qcheck_lock_constructions_lint_clean ] );
+    ]

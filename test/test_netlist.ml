@@ -25,6 +25,35 @@ let test_builder_basics () =
   Alcotest.(check int) "and(1,1)" 1 (Netlist.eval_words c ~inputs:3 ~keys:0);
   Alcotest.(check int) "and(1,0)" 0 (Netlist.eval_words c ~inputs:1 ~keys:0)
 
+let test_eval_words_rejects_wide_circuits () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : int) -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* 63 inputs: packed input word would not fit an OCaml int *)
+  let b = B.create ~n_inputs:63 ~n_keys:0 in
+  B.output b (B.input b 0);
+  let wide_in = B.finish b in
+  expect_invalid (fun () -> Netlist.eval_words wide_in ~inputs:0 ~keys:0);
+  (* 63 outputs over one input *)
+  let b = B.create ~n_inputs:1 ~n_keys:0 in
+  for _ = 1 to 63 do
+    B.output b (B.gate b (Netlist.Buf (B.input b 0)))
+  done;
+  let wide_out = B.finish b in
+  expect_invalid (fun () -> Netlist.eval_words wide_out ~inputs:1 ~keys:0);
+  (* 63 keys *)
+  let b = B.create ~n_inputs:1 ~n_keys:63 in
+  B.output b (B.xor_ b (B.input b 0) (B.key b 62));
+  let wide_key = B.finish b in
+  expect_invalid (fun () -> Netlist.eval_words wide_key ~inputs:1 ~keys:0);
+  (* 62 of everything is still fine *)
+  let b = B.create ~n_inputs:62 ~n_keys:0 in
+  B.output b (B.input b 3);
+  let ok = B.finish b in
+  Alcotest.(check int) "62 inputs ok" 1 (Netlist.eval_words ok ~inputs:8 ~keys:0)
+
 let test_all_gate_semantics () =
   let b = B.create ~n_inputs:3 ~n_keys:0 in
   let x = B.input b 0 and y = B.input b 1 and s = B.input b 2 in
@@ -234,6 +263,26 @@ let test_permutation_network_wrong_key () =
   Alcotest.(check bool) "inverted controls corrupt heavily" true
     (Lock.error_rate locked ~key:wrong > 0.1)
 
+let test_permutation_network_all_keys_drive_swaps () =
+  (* Regression: offset layers of an even-width network have one swap
+     fewer, and key bits used to be allocated as if every layer were
+     full, leaving dead key inputs. Every key bit must now reach an
+     output. *)
+  List.iter
+    (fun (width, layers) ->
+      let rng = Rng.create 21 in
+      let base = Circuits.adder ~width in
+      let locked = Lock.permutation_network ~rng ~layers base in
+      let cone = Rb_netlist.Analysis.output_cone locked.Lock.circuit in
+      let c = locked.Lock.circuit in
+      for k = 0 to Netlist.n_keys c - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "w%d l%d key %d live" width layers k)
+          true
+          cone.(Netlist.n_inputs c + k)
+      done)
+    [ (2, 2); (3, 3); (4, 2); (4, 5) ]
+
 (* ------------------------------------------------------------- verilog *)
 
 let contains ~affix s =
@@ -296,6 +345,8 @@ let () =
         [
           Alcotest.test_case "builder basics" `Quick test_builder_basics;
           Alcotest.test_case "gate semantics" `Quick test_all_gate_semantics;
+          Alcotest.test_case "eval_words width guard" `Quick
+            test_eval_words_rejects_wide_circuits;
           Alcotest.test_case "undefined net" `Quick test_builder_rejects_undefined_net;
           Alcotest.test_case "width mismatch" `Quick test_eval_width_mismatch;
           Alcotest.test_case "fanin cone" `Quick test_fanin_cone;
@@ -320,6 +371,8 @@ let () =
           Alcotest.test_case "anti-sat wrong key" `Quick test_anti_sat_wrong_key_one_minterm;
           Alcotest.test_case "permutation network" `Quick test_permutation_network;
           Alcotest.test_case "permnet wrong key" `Quick test_permutation_network_wrong_key;
+          Alcotest.test_case "permnet keys all live" `Quick
+            test_permutation_network_all_keys_drive_swaps;
         ] );
       ( "verilog",
         [
