@@ -1,25 +1,32 @@
 (* The evaluation harness: regenerates every table and figure of the
    paper's Sec. VI (plus the analytical/gate-level results it builds
-   on), and ends with Bechamel runtime microbenches of each binding
-   algorithm.
+   on), and ends with Bechamel runtime microbenches of each registered
+   binder.
 
-   Sections (pass names as argv to run a subset):
-     fig4         error increase per benchmark (paper Fig. 4)
-     fig5         error increase per locking configuration (Fig. 5)
-     fig6         register/switching overhead (Fig. 6)
-     headline     paper-abstract numbers: 26x / 99x / heuristic gap
-     eqn1         SAT-resilience trade-off table (Eqn. 1)
-     sat-attack   oracle-guided SAT attack on locked adders (Sec. II)
-     methodology  Sec. V-C design-goal walk
-     runtime      Bechamel microbenches of the binding algorithms *)
+   Experiment sections are split compute/render: Rb_core.Experiments
+   and Rb_core.Ablation produce records (fanned out over the worker
+   pool), Rb_core.Render turns them into the tables printed here. All
+   tables go to stdout and are byte-identical for any --jobs value;
+   per-section wall-clock goes to stderr.
+
+   Usage:
+     main.exe [--jobs N] [--sections a,b,...] [--list-sections] [SECTION...]
+
+     --jobs N        worker domains (default: available cores; 1 = no
+                     worker domains, everything runs inline)
+     --sections ...  comma-separated subset to run (same as naming
+                     sections positionally)
+     --list-sections print the section names and exit *)
 
 module Dfg = Rb_dfg.Dfg
-module Schedule = Rb_sched.Schedule
 module Workload = Rb_workload.Benchmark
 module Kmatrix = Rb_sim.Kmatrix
 module Allocation = Rb_hls.Allocation
 module Profile = Rb_hls.Profile
+module Binder = Rb_hls.Binder
 module Experiments = Rb_core.Experiments
+module Ablation = Rb_core.Ablation
+module Render = Rb_core.Render
 module Codesign = Rb_core.Codesign
 module Methodology = Rb_core.Methodology
 module Resilience = Rb_locking.Resilience
@@ -29,295 +36,133 @@ module Circuits = Rb_netlist.Circuits
 module Netlist = Rb_netlist.Netlist
 module Attack = Rb_sat.Attack
 module Table = Rb_util.Table
-module Stats = Rb_util.Stats
 module Rng = Rb_util.Rng
+module Pool = Rb_util.Pool
 
 let section name =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') name (String.make 72 '=')
 
-(* ------------------------------------------------------------ contexts *)
+(* ------------------------------------------------- experiment sections *)
 
-let contexts =
-  lazy
-    (List.map
-       (fun b ->
-         let schedule = Workload.schedule b in
-         let trace = Workload.trace b in
-         Experiments.context ~name:b.Workload.name schedule trace)
-       (Workload.all ()))
-
-let sweep_cache : (string * Dfg.op_kind, Experiments.config_result list) Hashtbl.t =
-  Hashtbl.create 32
-
-let sweep_of ctx kind =
-  let key = (ctx.Experiments.benchmark, kind) in
-  match Hashtbl.find_opt sweep_cache key with
-  | Some r -> r
-  | None ->
-    let r =
-      Experiments.sweep ~max_combos_per_config:2000 ~max_optimal_assignments:200_000 ctx
-        kind
+(* Sections built around the shared pool: contexts and the
+   configuration sweep are computed once (lazily, in parallel) and
+   reused by every section that needs them. *)
+let experiment_sections pool =
+  let contexts =
+    lazy
+      (Pool.map_list pool
+         ~f:(fun b ->
+           let schedule = Workload.schedule b in
+           let trace = Workload.trace b in
+           Experiments.context ~name:b.Workload.name schedule trace)
+         (Workload.all ()))
+  in
+  let suite =
+    lazy
+      (Experiments.sweep_suite ~pool ~max_combos_per_config:2000
+         ~max_optimal_assignments:200_000 (Lazy.force contexts))
+  in
+  let fig4 () =
+    section
+      "Fig. 4 - increase in application errors of locking under security-aware\n\
+       binding, vs area-aware [20] and power-aware [19] binding with identical\n\
+       locking configurations (mean over {1,2,3} locked FUs x {1,2,3} locked\n\
+       inputs x candidate-input combinations; log-scale bars)";
+    print_string
+      (Render.fig4
+         ~rows:(Experiments.fig4_rows (Lazy.force suite))
+         ~concentrations:(Experiments.concentrations (Lazy.force contexts)))
+  in
+  let fig5 () =
+    section
+      "Fig. 5 - error increase vs locking configuration (pooled over all\n\
+       benchmarks and kinds; co-design = P-time heuristic, as in the paper)";
+    let s = Lazy.force suite in
+    print_string
+      (Render.fig5
+         ~cells:(Experiments.fig5_cells (Experiments.pooled_results s))
+         ~reduced:(Experiments.reduced_optimal_runs s))
+  in
+  let fig6 () =
+    section
+      "Fig. 6 - design overhead of security-aware binding (registers vs the\n\
+       register-minimizing binder; switching rate vs the switching-minimizing\n\
+       binder), averaged over the locking-configuration sweep";
+    print_string
+      (Render.fig6 (Experiments.overhead_suite ~pool ~combos_per_config:8
+                      (Lazy.force contexts)))
+  in
+  let headline () =
+    section "Headline numbers (paper abstract: 26x and 99x; heuristic within 0.5%)";
+    print_string (Render.headline (Experiments.headline (Lazy.force suite)))
+  in
+  let quality () =
+    section
+      "Error quality (Sec. III) - measured wrong-key corruption of one\n\
+       co-designed locking configuration (2 FUs x 2 minterms) replayed through\n\
+       the trace simulator under the area-aware baseline binding and under the\n\
+       co-designed binding";
+    let trace_of ctx = Workload.trace (Workload.find ctx.Experiments.benchmark) in
+    print_string
+      (Render.quality (Experiments.quality_suite ~pool ~trace_of (Lazy.force contexts)))
+  in
+  let postlock () =
+    section
+      "Post-binding locking (the abstract's closing claim) - at a fixed 32-bit\n\
+       key budget, the minterms each approach must lock to reach the SAME\n\
+       application-error level, and the Eqn. 1 resilience it is left with";
+    print_string
+      (Render.post_binding (Experiments.post_binding_suite ~pool (Lazy.force contexts)))
+  in
+  let ablation () =
+    section
+      "Ablations - design knobs the paper leaves open, quantified\n\
+       (candidate selection, Sec. V-B.1; workload generalization; profiling\n\
+       budget; allocation and scheduler sensitivity)";
+    let ctx_named name =
+      List.find (fun c -> c.Experiments.benchmark = name) (Lazy.force contexts)
     in
-    Hashtbl.add sweep_cache key r;
-    r
-
-let fmt_ratio r = Printf.sprintf "%.1fx" r
-
-(* ---------------------------------------------------------------- fig4 *)
-
-let fig4 () =
-  section
-    "Fig. 4 - increase in application errors of locking under security-aware\n\
-     binding, vs area-aware [20] and power-aware [19] binding with identical\n\
-     locking configurations (mean over {1,2,3} locked FUs x {1,2,3} locked\n\
-     inputs x candidate-input combinations; log-scale bars)";
-  let top =
-    Table.create ~title:"Fig. 4 (top): obfuscation-aware binding"
-      ~columns:[ "vs area"; "vs power"; "log bar (vs area)" ]
+    let strategies =
+      List.map
+        (fun (name, kind) ->
+          (name, kind, Ablation.candidate_strategies (ctx_named name) kind))
+        [ ("dct", Dfg.Mul); ("ecb_enc4", Dfg.Add); ("fft", Dfg.Add) ]
+    in
+    let generalization =
+      Pool.map_list pool
+        ~f:(fun (name, kind) ->
+          let b = Workload.find name in
+          ( name, kind,
+            Ablation.generalization (Workload.schedule b) (Workload.trace b) kind ))
+        [ ("dct", Dfg.Mul); ("fir", Dfg.Add); ("jdmerge3", Dfg.Add);
+          ("motion3", Dfg.Add) ]
+    in
+    let dct = Workload.find "dct" in
+    let budget =
+      Ablation.profiling_budget (Workload.schedule dct) (Workload.trace dct) Dfg.Mul
+    in
+    let make_trace () = Workload.trace dct in
+    let sensitivity =
+      Ablation.allocation_sensitivity dct.Workload.dfg make_trace
+      @ Ablation.scheduler_sensitivity dct.Workload.dfg make_trace
+    in
+    print_string
+      (Render.ablation ~strategies ~generalization
+         ~budget_title:
+           "profiling-budget sensitivity (dct multipliers, replayed on 256 samples)"
+         ~budget
+         ~sensitivity_title:"sensitivity of the obf-aware error increase (dct, adders)"
+         ~sensitivity)
   in
-  let bottom =
-    Table.create
-      ~title:"Fig. 4 (bottom): binding-obfuscation co-design (optimal / P-time heuristic)"
-      ~columns:
-        [ "opt vs area"; "opt vs power"; "heur vs area"; "heur vs power";
-          "log bar (heur vs area)" ]
-  in
-  let all_obf_area = ref [] and all_obf_power = ref [] in
-  let all_cd_area = ref [] and all_cd_power = ref [] in
-  List.iter
-    (fun ctx ->
-      List.iter
-        (fun kind ->
-          let results = sweep_of ctx kind in
-          match Experiments.fig4_row ~benchmark:ctx.Experiments.benchmark kind results with
-          | None -> ()
-          | Some row ->
-            let label =
-              Printf.sprintf "%s/%s" ctx.Experiments.benchmark (Dfg.kind_label kind)
-            in
-            all_obf_area := row.Experiments.obf_vs_area :: !all_obf_area;
-            all_obf_power := row.Experiments.obf_vs_power :: !all_obf_power;
-            all_cd_area := row.Experiments.cd_heur_vs_area :: !all_cd_area;
-            all_cd_power := row.Experiments.cd_heur_vs_power :: !all_cd_power;
-            Table.add_text_row top ~label
-              ~cells:
-                [
-                  fmt_ratio row.Experiments.obf_vs_area;
-                  fmt_ratio row.Experiments.obf_vs_power;
-                  Table.log_bar row.Experiments.obf_vs_area;
-                ];
-            Table.add_text_row bottom ~label
-              ~cells:
-                [
-                  fmt_ratio row.Experiments.cd_opt_vs_area;
-                  fmt_ratio row.Experiments.cd_opt_vs_power;
-                  fmt_ratio row.Experiments.cd_heur_vs_area;
-                  fmt_ratio row.Experiments.cd_heur_vs_power;
-                  Table.log_bar row.Experiments.cd_heur_vs_area;
-                ])
-        [ Dfg.Add; Dfg.Mul ])
-    (Lazy.force contexts);
-  Table.add_text_row top ~label:"Avg."
-    ~cells:
-      [
-        fmt_ratio (Stats.mean !all_obf_area);
-        fmt_ratio (Stats.mean !all_obf_power);
-        Table.log_bar (Stats.mean !all_obf_area);
-      ];
-  Table.add_text_row bottom ~label:"Avg."
-    ~cells:
-      [
-        "-"; "-";
-        fmt_ratio (Stats.mean !all_cd_area);
-        fmt_ratio (Stats.mean !all_cd_power);
-        Table.log_bar (Stats.mean !all_cd_area);
-      ];
-  Table.print top;
-  print_newline ();
-  Table.print bottom;
-  Printf.printf
-    "\nPaper reference: obf-aware 22x (area) / 29x (power); co-design 82x / 115x.\n\
-     No multipliers in ecb_enc4 (as in the paper). Combination spaces above\n\
-     2000 are deterministically sampled; optimal co-design above 200k\n\
-     assignments re-runs on a shortened candidate list (disclosed in the fig5\n\
-     section).\n";
-  (* The workload property that sets the ratio magnitude: how
-     operation-concentrated the candidate minterms are (1.0 = a
-     candidate fires on exactly one operation, the regime behind the
-     paper's largest ratios). *)
-  let concentrations =
-    List.concat_map
-      (fun ctx ->
-        List.concat_map
-          (fun kind ->
-            Array.to_list (Experiments.candidates_for ctx kind)
-            |> List.map (fun m -> Kmatrix.op_concentration ctx.Experiments.k m))
-          [ Dfg.Add; Dfg.Mul ])
-      (Lazy.force contexts)
-  in
-  Printf.printf
-    "Candidate op-concentration across the suite: mean %.2f, median %.2f\n\
-     (1.0 = single-operation minterm; see EXPERIMENTS.md - this statistic is\n\
-     what separates our ratio magnitudes from the paper's MediaBench runs).\n"
-    (Stats.mean concentrations) (Stats.median concentrations)
-
-(* ---------------------------------------------------------------- fig5 *)
-
-let fig5 () =
-  section
-    "Fig. 5 - error increase vs locking configuration (pooled over all\n\
-     benchmarks and kinds; co-design = P-time heuristic, as in the paper)";
-  let pooled =
-    List.concat_map
-      (fun ctx -> List.concat_map (fun kind -> sweep_of ctx kind) [ Dfg.Add; Dfg.Mul ])
-      (Lazy.force contexts)
-  in
-  let table =
-    Table.create ~title:"mean error-increase ratio"
-      ~columns:
-        [ "obf vs area"; "obf vs power"; "co-d vs area"; "co-d vs power";
-          "log bar (co-d/area)" ]
-  in
-  List.iter
-    (fun cell ->
-      Table.add_text_row table ~label:cell.Experiments.cell_label
-        ~cells:
-          [
-            fmt_ratio cell.Experiments.f5_obf_vs_area;
-            fmt_ratio cell.Experiments.f5_obf_vs_power;
-            fmt_ratio cell.Experiments.f5_cd_vs_area;
-            fmt_ratio cell.Experiments.f5_cd_vs_power;
-            Table.log_bar cell.Experiments.f5_cd_vs_area;
-          ])
-    (Experiments.fig5_cells pooled);
-  Table.print table;
-  (* Disclose where optimal co-design ran on a reduced candidate list. *)
-  let reduced =
-    List.concat_map
-      (fun ctx ->
-        List.concat_map
-          (fun kind ->
-            List.filter_map
-              (fun r ->
-                if r.Experiments.optimal_candidates_used < 10 then
-                  Some
-                    (Printf.sprintf "%s/%s L=%d m=%d: |C|=%d" ctx.Experiments.benchmark
-                       (Dfg.kind_label kind) r.Experiments.locked_fu_count
-                       r.Experiments.minterms_per_fu r.Experiments.optimal_candidates_used)
-                else None)
-              (sweep_of ctx kind))
-          [ Dfg.Add; Dfg.Mul ])
-      (Lazy.force contexts)
-  in
-  Printf.printf
-    "\nPaper reference: consistently 10-150x across configurations.\n\
-     Optimal co-design used a shortened candidate list on %d configuration\n\
-     runs (exact search above the 200k-assignment cap):\n"
-    (List.length reduced);
-  List.iter (fun line -> Printf.printf "  %s\n" line) reduced
-
-(* ---------------------------------------------------------------- fig6 *)
-
-let fig6 () =
-  section
-    "Fig. 6 - design overhead of security-aware binding (registers vs the\n\
-     register-minimizing binder; switching rate vs the switching-minimizing\n\
-     binder), averaged over the locking-configuration sweep";
-  let regs =
-    Table.create ~title:"registers (distributed register-file model)"
-      ~columns:
-        [ "area-aware"; "obf-aware"; "co-design"; "increase (obf)"; "increase (co-d)" ]
-  in
-  let sw =
-    Table.create ~title:"switching rate (input-port toggle fraction)"
-      ~columns:
-        [ "power-aware"; "obf-aware"; "co-design"; "increase (obf)"; "increase (co-d)" ]
-  in
-  let dr_obf = ref [] and dr_cd = ref [] and ds_obf = ref [] and ds_cd = ref [] in
-  List.iter
-    (fun ctx ->
-      let ov = Experiments.overhead ~combos_per_config:8 ctx in
-      let base_r = float_of_int ov.Experiments.area_registers in
-      dr_obf := (ov.Experiments.obf_registers -. base_r) :: !dr_obf;
-      dr_cd := (ov.Experiments.cd_registers -. base_r) :: !dr_cd;
-      ds_obf := (ov.Experiments.obf_switching -. ov.Experiments.power_switching) :: !ds_obf;
-      ds_cd := (ov.Experiments.cd_switching -. ov.Experiments.power_switching) :: !ds_cd;
-      Table.add_text_row regs ~label:ov.Experiments.ov_benchmark
-        ~cells:
-          [
-            string_of_int ov.Experiments.area_registers;
-            Printf.sprintf "%.1f" ov.Experiments.obf_registers;
-            Printf.sprintf "%.1f" ov.Experiments.cd_registers;
-            Printf.sprintf "%+.1f" (ov.Experiments.obf_registers -. base_r);
-            Printf.sprintf "%+.1f" (ov.Experiments.cd_registers -. base_r);
-          ];
-      Table.add_text_row sw ~label:ov.Experiments.ov_benchmark
-        ~cells:
-          [
-            Printf.sprintf "%.3f" ov.Experiments.power_switching;
-            Printf.sprintf "%.3f" ov.Experiments.obf_switching;
-            Printf.sprintf "%.3f" ov.Experiments.cd_switching;
-            Printf.sprintf "%+.3f"
-              (ov.Experiments.obf_switching -. ov.Experiments.power_switching);
-            Printf.sprintf "%+.3f"
-              (ov.Experiments.cd_switching -. ov.Experiments.power_switching);
-          ])
-    (Lazy.force contexts);
-  Table.add_text_row regs ~label:"Avg."
-    ~cells:
-      [ "-"; "-"; "-"; Printf.sprintf "%+.2f" (Stats.mean !dr_obf);
-        Printf.sprintf "%+.2f" (Stats.mean !dr_cd) ];
-  Table.add_text_row sw ~label:"Avg."
-    ~cells:
-      [ "-"; "-"; "-"; Printf.sprintf "%+.3f" (Stats.mean !ds_obf);
-        Printf.sprintf "%+.3f" (Stats.mean !ds_cd) ];
-  Table.print regs;
-  print_newline ();
-  Table.print sw;
-  Printf.printf
-    "\nPaper reference: ~+4.7 registers vs area-aware, ~+0.03 switching rate vs\n\
-     power-aware. Our register deltas are smaller in absolute terms (smaller\n\
-     8-bit kernels; see EXPERIMENTS.md); the reproduced claim is the shape -\n\
-     small positive overhead.\n"
-
-(* ------------------------------------------------------------ headline *)
-
-let headline () =
-  section "Headline numbers (paper abstract: 26x and 99x; heuristic within 0.5%)";
-  let obf = ref [] and cd = ref [] and gaps = ref [] in
-  List.iter
-    (fun ctx ->
-      List.iter
-        (fun kind ->
-          let results = sweep_of ctx kind in
-          (match
-             Experiments.fig4_row ~benchmark:ctx.Experiments.benchmark kind results
-           with
-           | None -> ()
-           | Some row ->
-             obf := row.Experiments.obf_vs_area :: row.Experiments.obf_vs_power :: !obf;
-             cd :=
-               row.Experiments.cd_heur_vs_area :: row.Experiments.cd_heur_vs_power :: !cd);
-          List.iter
-            (fun r ->
-              (* heuristic vs optimal, only where optimal searched the
-                 full candidate list *)
-              if r.Experiments.optimal_candidates_used = 10 then begin
-                let opt = float_of_int r.Experiments.e_codesign_optimal in
-                let heur = float_of_int r.Experiments.e_codesign_heuristic in
-                if opt > 0.0 then gaps := ((opt -. heur) /. opt *. 100.0) :: !gaps
-              end)
-            results)
-        [ Dfg.Add; Dfg.Mul ])
-    (Lazy.force contexts);
-  Printf.printf "obfuscation-aware binding error increase (mean):   %.1fx   (paper: 26x)\n"
-    (Stats.mean !obf);
-  Printf.printf "binding-obfuscation co-design error increase:      %.1fx   (paper: 99x)\n"
-    (Stats.mean !cd);
-  Printf.printf
-    "heuristic vs optimal degradation over %d full-search configurations:\n\
-    \  mean %.3f%%, worst %.3f%%   (paper: < 0.5%%)\n"
-    (List.length !gaps) (Stats.mean !gaps) (Stats.maximum !gaps)
+  [
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("headline", headline);
+    ("quality", quality);
+    ("postlock", postlock);
+    ("ablation", ablation);
+  ]
 
 (* ----------------------------------------------------------------- eqn1 *)
 
@@ -505,227 +350,6 @@ let methodology () =
     ];
   Table.print table
 
-(* ------------------------------------------------------------- postlock *)
-
-let postlock () =
-  section
-    "Post-binding locking (the abstract's closing claim) - at a fixed 32-bit\n\
-     key budget, the minterms each approach must lock to reach the SAME\n\
-     application-error level, and the Eqn. 1 resilience it is left with";
-  let table =
-    Table.create ~title:"error level set by co-design (2 locked FUs x 2 minterms)"
-      ~columns:
-        [ "target errors"; "co-design |M|"; "co-design lambda"; "post-binding |M|";
-          "post-binding lambda" ]
-  in
-  let lambda_str l = if l = infinity then "inf" else Printf.sprintf "%.0f" l in
-  let collapses = ref 0 and rows = ref 0 in
-  List.iter
-    (fun ctx ->
-      List.iter
-        (fun kind ->
-          match Experiments.post_binding ctx kind with
-          | None -> ()
-          | Some r ->
-            incr rows;
-            if r.Experiments.post_lambda < r.Experiments.codesign_lambda then incr collapses;
-            Table.add_text_row table
-              ~label:(Printf.sprintf "%s/%s" r.Experiments.pb_benchmark (Dfg.kind_label kind))
-              ~cells:
-                [
-                  string_of_int r.Experiments.codesign_errors;
-                  string_of_int r.Experiments.codesign_minterms;
-                  lambda_str r.Experiments.codesign_lambda;
-                  (match r.Experiments.post_minterms with
-                   | Some h -> string_of_int h
-                   | None -> Printf.sprintf "unreachable (%d)" r.Experiments.post_errors);
-                  lambda_str r.Experiments.post_lambda;
-                ])
-        [ Dfg.Add; Dfg.Mul ])
-    (Lazy.force contexts);
-  Table.print table;
-  Printf.printf
-    "\nEven granting post-binding locking an *optimizing* minterm chooser (the\n\
-     strongest baseline; the paper's Fig. 4 protocol compares identical minterm\n\
-     sets instead), it pays for the same corruption with up to 2x the locked\n\
-     minterms, ending with less Eqn. 1 resilience on %d/%d series. Against the\n\
-     paper's a-priori-minterms baseline the gap is the 10-150x of Fig. 4: most\n\
-     of co-design's advantage is choosing minterms the architecture can\n\
-     concentrate; binding freedom then multiplies whatever was chosen.\n"
-    !collapses !rows
-
-(* -------------------------------------------------------------- quality *)
-
-let quality () =
-  section
-    "Error quality (Sec. III) - measured wrong-key corruption of one\n\
-     co-designed locking configuration (2 FUs x 2 minterms) replayed through\n\
-     the trace simulator under the area-aware baseline binding and under the\n\
-     co-designed binding";
-  let table =
-    Table.create ~title:"corruption measured over the full typical trace"
-      ~columns:
-        [ "events (base)"; "events (secure)"; "bad samples (base)"; "bad samples (secure)";
-          "burst (base)"; "burst (secure)" ]
-  in
-  let burst_wins = ref 0 and rows = ref 0 in
-  List.iter
-    (fun ctx ->
-      let trace =
-        Workload.trace (Workload.find ctx.Experiments.benchmark)
-      in
-      List.iter
-        (fun kind ->
-          match Experiments.quality ~trace ctx kind with
-          | None -> ()
-          | Some q ->
-            incr rows;
-            if q.Experiments.secure_max_burst >= q.Experiments.base_max_burst then
-              incr burst_wins;
-            Table.add_text_row table
-              ~label:(Printf.sprintf "%s/%s" q.Experiments.q_benchmark (Dfg.kind_label kind))
-              ~cells:
-                [
-                  string_of_int q.Experiments.base_events;
-                  string_of_int q.Experiments.secure_events;
-                  Printf.sprintf "%d/%d" q.Experiments.base_corrupted_samples
-                    q.Experiments.samples;
-                  Printf.sprintf "%d/%d" q.Experiments.secure_corrupted_samples
-                    q.Experiments.samples;
-                  string_of_int q.Experiments.base_max_burst;
-                  string_of_int q.Experiments.secure_max_burst;
-                ])
-        [ Dfg.Add; Dfg.Mul ])
-    (Lazy.force contexts);
-  Table.print table;
-  Printf.printf
-    "\nSecurity-aware binding injects more error events AND longer consecutive-\n\
-     cycle bursts (>= baseline burst on %d/%d series) - the Sec. III argument\n\
-     that consecutive injections are likelier to derail the application.\n"
-    !burst_wins !rows
-
-(* ------------------------------------------------------------- ablation *)
-
-let ablation () =
-  section
-    "Ablations - design knobs the paper leaves open, quantified\n\
-     (candidate selection, Sec. V-B.1; workload generalization; allocation\n\
-     and scheduler sensitivity)";
-  (* 1. candidate-selection strategy *)
-  let table =
-    Table.create
-      ~title:"candidate strategy vs co-design errors (2 locked FUs x 2 minterms)"
-      ~columns:[ "benchmark/kind"; "errors"; "candidate trace mass" ]
-  in
-  List.iter
-    (fun (name, kind) ->
-      let ctx =
-        List.find (fun c -> c.Experiments.benchmark = name) (Lazy.force contexts)
-      in
-      List.iter
-        (fun (row : Rb_core.Ablation.strategy_row) ->
-          Table.add_text_row table
-            ~label:(Rb_core.Ablation.strategy_name row.Rb_core.Ablation.strategy)
-            ~cells:
-              [
-                Printf.sprintf "%s/%s" name (Dfg.kind_label kind);
-                string_of_int row.Rb_core.Ablation.codesign_errors;
-                string_of_int row.Rb_core.Ablation.candidate_mass;
-              ])
-        (Rb_core.Ablation.candidate_strategies ctx kind))
-    [ ("dct", Dfg.Mul); ("ecb_enc4", Dfg.Add); ("fft", Dfg.Add) ];
-  Table.print table;
-  Printf.printf
-    "As Sec. V-B.1 argues: co-design maximizes errors for whatever C the\n\
-     designer supplies; rarer candidates (leak-resistant) simply buy fewer\n\
-     error events.\n\n";
-  (* 2. train/test generalization *)
-  let table =
-    Table.create ~title:"workload generalization (co-design on first half of the trace)"
-      ~columns:[ "Eqn.2 (train)"; "measured (train)"; "measured (unseen half)" ]
-  in
-  List.iter
-    (fun (name, kind) ->
-      let b = Workload.find name in
-      let schedule = Workload.schedule b in
-      let trace = Workload.trace b in
-      let row = Rb_core.Ablation.generalization schedule trace kind in
-      Table.add_text_row table
-        ~label:(Printf.sprintf "%s/%s" name (Dfg.kind_label kind))
-        ~cells:
-          [
-            string_of_int row.Rb_core.Ablation.train_expected;
-            string_of_int row.Rb_core.Ablation.train_measured;
-            string_of_int row.Rb_core.Ablation.test_measured;
-          ])
-    [ ("dct", Dfg.Mul); ("fir", Dfg.Add); ("jdmerge3", Dfg.Add); ("motion3", Dfg.Add) ];
-  Table.print table;
-  Printf.printf
-    "The locked minterms keep firing on unseen samples of the same workload:\n\
-     the 'typical trace' assumption (Sec. IV-A) carries the design's error\n\
-     rate to deployment.\n\n";
-  (* trace-length sensitivity: how much "typical workload" does the
-     designer need before the co-designed lock stabilizes? *)
-  let table =
-    Table.create
-      ~title:"profiling-budget sensitivity (dct multipliers, replayed on 256 samples)"
-      ~columns:[ "Eqn.2 on prefix"; "measured on full trace" ]
-  in
-  let bench = Workload.find "dct" in
-  let schedule = Workload.schedule bench in
-  let full = Workload.trace bench in
-  let allocation = Allocation.for_schedule schedule in
-  List.iter
-    (fun len ->
-      let prefix = Rb_sim.Trace.sub full ~pos:0 ~len in
-      let k = Kmatrix.build prefix in
-      let candidates = Array.of_list (Kmatrix.top_minterms ~kind:Dfg.Mul k ~n:10) in
-      let fus = Allocation.fu_ids allocation Dfg.Mul in
-      let spec =
-        { Codesign.scheme = Scheme.Sfll_rem;
-          locked_fus = List.filteri (fun i _ -> i < 2) fus;
-          minterms_per_fu = min 2 (Array.length candidates); candidates }
-      in
-      let solution = Codesign.heuristic k schedule allocation spec in
-      let report =
-        Rb_sim.Exec.application_errors schedule full
-          ~fu_of_op:(Rb_hls.Binding.fu_array solution.Codesign.binding)
-          ~config:solution.Codesign.config
-      in
-      Table.add_text_row table
-        ~label:(Printf.sprintf "%d samples" len)
-        ~cells:
-          [ string_of_int solution.Codesign.errors;
-            string_of_int report.Rb_sim.Exec.error_events ])
-    [ 8; 16; 32; 64; 128; 256 ];
-  Table.print table;
-  Printf.printf
-    "Short profiles already find the workload's head minterms; the measured\n\
-     full-trace corruption stabilizes within a few dozen samples.\n\n";
-  (* 3 + 4. allocation and scheduler sensitivity on dct *)
-  let b = Workload.find "dct" in
-  let make_trace () = Workload.trace b in
-  let table =
-    Table.create ~title:"sensitivity of the obf-aware error increase (dct, adders)"
-      ~columns:[ "cycles"; "obf vs area" ]
-  in
-  List.iter
-    (fun (row : Rb_core.Ablation.sensitivity_row) ->
-      Table.add_text_row table ~label:row.Rb_core.Ablation.label
-        ~cells:
-          [
-            string_of_int row.Rb_core.Ablation.n_cycles;
-            fmt_ratio row.Rb_core.Ablation.obf_vs_area;
-          ])
-    (Rb_core.Ablation.allocation_sensitivity b.Workload.dfg make_trace
-     @ Rb_core.Ablation.scheduler_sensitivity b.Workload.dfg make_trace);
-  Table.print table;
-  Printf.printf
-    "One FU per kind leaves binding no freedom (ratio exactly 1x); any larger\n\
-     allocation opens the gap, and the effect survives a change of scheduling\n\
-     front end. (This probe uses the conservative ratio-of-total-errors over\n\
-     head-candidate pairs; the per-combination means of Fig. 4 are larger.)\n"
-
 (* -------------------------------------------------------------- runtime *)
 
 let runtime () =
@@ -741,31 +365,29 @@ let runtime () =
     Rb_locking.Config.make ~scheme:Scheme.Sfll_rem
       ~locks:[ (0, [ candidates.(0); candidates.(1) ]) ]
   in
-  let spec =
-    { Codesign.scheme = Scheme.Sfll_rem; locked_fus = [ 0 ]; minterms_per_fu = 2; candidates }
-  in
+  let input = { Binder.schedule; allocation; profile; k; config; candidates } in
   let open Bechamel in
+  (* One microbench per registered binder (all run on the same dct
+     input: 1 locked FU x 2 minterms, |C|=10), plus the two hot
+     non-binder kernels. *)
   let tests =
-    [
-      Test.make ~name:"area-aware binding (dct)"
-        (Staged.stage (fun () -> ignore (Rb_hls.Area_binding.bind schedule allocation)));
-      Test.make ~name:"power-aware binding (dct)"
-        (Staged.stage (fun () ->
-             ignore (Rb_hls.Power_binding.bind schedule allocation ~profile)));
-      Test.make ~name:"obfuscation-aware binding (dct)"
-        (Staged.stage (fun () ->
-             ignore (Rb_core.Obf_binding.bind k config schedule allocation)));
-      Test.make ~name:"co-design heuristic (dct, |C|=10, m=2)"
-        (Staged.stage (fun () -> ignore (Codesign.heuristic k schedule allocation spec)));
-      Test.make ~name:"K-matrix build (dct, 256 samples)"
-        (Staged.stage (fun () -> ignore (Kmatrix.build trace)));
-      Test.make ~name:"Hungarian 8x8"
-        (let m =
-           Array.init 8 (fun i ->
-               Array.init 8 (fun j -> float_of_int (((i * 31) + (j * 17)) mod 23)))
-         in
-         Staged.stage (fun () -> ignore (Rb_matching.Hungarian.min_cost_assignment m)));
-    ]
+    List.map
+      (fun name ->
+        let (module B : Binder.S) = Binder.require name in
+        Test.make
+          ~name:(Printf.sprintf "%s binder (dct)" B.name)
+          (Staged.stage (fun () -> ignore (B.bind input))))
+      (Binder.names ())
+    @ [
+        Test.make ~name:"K-matrix build (dct, 256 samples)"
+          (Staged.stage (fun () -> ignore (Kmatrix.build trace)));
+        Test.make ~name:"Hungarian 8x8"
+          (let m =
+             Array.init 8 (fun i ->
+                 Array.init 8 (fun j -> float_of_int (((i * 31) + (j * 17)) mod 23)))
+           in
+           Staged.stage (fun () -> ignore (Rb_matching.Hungarian.min_cost_assignment m)));
+      ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
@@ -785,31 +407,98 @@ let runtime () =
         results)
     tests
 
+(* ------------------------------------------------------------------ CLI *)
+
+let section_order =
+  [ "fig4"; "fig5"; "fig6"; "headline"; "eqn1"; "sat-attack"; "methodology";
+    "quality"; "postlock"; "ablation"; "runtime" ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--jobs N] [--sections a,b,...] [--list-sections] [SECTION...]\n\
+     available sections: %s\n"
+    (String.concat " " section_order)
+
+let parse_pos_int flag s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | _ ->
+    Printf.eprintf "%s expects a positive integer, got %S\n" flag s;
+    exit 2
+
+let split_sections s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
-  let sections =
-    [
-      ("fig4", fig4);
-      ("fig5", fig5);
-      ("fig6", fig6);
-      ("headline", headline);
-      ("eqn1", eqn1);
-      ("sat-attack", sat_attack);
-      ("methodology", methodology);
-      ("quality", quality);
-      ("postlock", postlock);
-      ("ablation", ablation);
-      ("runtime", runtime);
-    ]
+  let jobs = ref (Pool.default_jobs ()) in
+  let requested = ref [] in
+  let list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--list-sections" :: rest ->
+      list_only := true;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      jobs := parse_pos_int "--jobs" n;
+      parse rest
+    | [ "--jobs" ] ->
+      Printf.eprintf "--jobs expects a value\n";
+      exit 2
+    | "--sections" :: s :: rest ->
+      requested := !requested @ split_sections s;
+      parse rest
+    | [ "--sections" ] ->
+      Printf.eprintf "--sections expects a value\n";
+      exit 2
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      jobs := parse_pos_int "--jobs" (String.sub arg 7 (String.length arg - 7));
+      parse rest
+    | arg :: rest when String.length arg > 11 && String.sub arg 0 11 = "--sections=" ->
+      requested := !requested @ split_sections (String.sub arg 11 (String.length arg - 11));
+      parse rest
+    | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
+      Printf.eprintf "unknown option %s\n" arg;
+      usage ();
+      exit 2
+    | name :: rest ->
+      requested := !requested @ [ name ];
+      parse rest
   in
-  let to_run =
-    match requested with
-    | [] -> sections
-    | names -> List.filter (fun (n, _) -> List.mem n names) sections
-  in
-  if to_run = [] then begin
-    Printf.eprintf "unknown section(s); available: %s\n"
-      (String.concat " " (List.map fst sections));
-    exit 1
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then begin
+    List.iter print_endline section_order;
+    exit 0
   end;
-  List.iter (fun (_, f) -> f ()) to_run
+  Rb_core.Binders.ensure_registered ();
+  Pool.with_pool ~jobs:!jobs (fun pool ->
+      let sections =
+        experiment_sections pool
+        @ [
+            ("eqn1", eqn1);
+            ("sat-attack", sat_attack);
+            ("methodology", methodology);
+            ("runtime", runtime);
+          ]
+      in
+      let lookup name =
+        match List.assoc_opt name sections with
+        | Some f -> (name, f)
+        | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat " " section_order);
+          exit 1
+      in
+      let to_run =
+        match !requested with
+        | [] -> List.map lookup section_order
+        | names -> List.map lookup names
+      in
+      List.iter
+        (fun (name, f) ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.eprintf "[%s: %.2fs, jobs=%d]\n%!" name
+            (Unix.gettimeofday () -. t0) (Pool.jobs pool))
+        to_run)

@@ -18,9 +18,16 @@ module Binding = Rb_hls.Binding
 module Profile = Rb_hls.Profile
 module Config = Rb_locking.Config
 module Scheme = Rb_locking.Scheme
+module Binder = Rb_hls.Binder
 module Cost = Rb_core.Cost
 module Table = Rb_util.Table
+module Json = Rb_util.Json
+module Pool = Rb_util.Pool
 open Cmdliner
+
+(* Populate the binder registry before any --binder argument is
+   parsed against it. *)
+let () = Rb_core.Binders.ensure_registered ()
 
 let benchmark_arg =
   let doc = "Benchmark name (one of: " ^ String.concat ", " (Benchmark.names ()) ^ ")." in
@@ -28,6 +35,16 @@ let benchmark_arg =
 
 let seed_arg =
   Arg.(value & opt int 1789 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let format_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT"
+         ~doc:"Report format: text or json.")
+
+let jobs_arg =
+  Arg.(value & opt int (Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel work (default: available cores; 1 runs \
+               everything inline).")
 
 let lookup name =
   match Benchmark.find name with
@@ -37,26 +54,61 @@ let lookup name =
 (* ---------------------------------------------------------------- list *)
 
 let list_cmd =
-  let run () =
-    let table =
-      Table.create ~title:"MediaBench-derived benchmarks (Sec. VI)"
-        ~columns:[ "source"; "adds"; "muls"; "cycles" ]
+  let run format =
+    let rows =
+      List.map
+        (fun b ->
+          let schedule = Benchmark.schedule b in
+          ( b.Benchmark.name,
+            b.Benchmark.source,
+            List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Add),
+            List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Mul),
+            Schedule.n_cycles schedule ))
+        (Benchmark.all ())
     in
-    List.iter
-      (fun b ->
-        let schedule = Benchmark.schedule b in
-        Table.add_text_row table ~label:b.Benchmark.name
-          ~cells:
-            [
-              b.Benchmark.source;
-              string_of_int (List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Add));
-              string_of_int (List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Mul));
-              string_of_int (Schedule.n_cycles schedule);
-            ])
-      (Benchmark.all ());
-    Table.print table
+    match format with
+    | `Json ->
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ( "benchmarks",
+                  Json.List
+                    (List.map
+                       (fun (name, source, adds, muls, cycles) ->
+                         Json.Obj
+                           [
+                             ("name", Json.String name);
+                             ("source", Json.String source);
+                             ("adds", Json.Int adds);
+                             ("muls", Json.Int muls);
+                             ("cycles", Json.Int cycles);
+                           ])
+                       rows) );
+                ("binders", Json.List (List.map (fun n -> Json.String n) (Binder.names ())));
+              ]))
+    | `Text ->
+      let table =
+        Table.create ~title:"MediaBench-derived benchmarks (Sec. VI)"
+          ~columns:[ "source"; "adds"; "muls"; "cycles" ]
+      in
+      List.iter
+        (fun (name, source, adds, muls, cycles) ->
+          Table.add_text_row table ~label:name
+            ~cells:
+              [ source; string_of_int adds; string_of_int muls; string_of_int cycles ])
+        rows;
+      Table.print table;
+      Printf.printf "\nregistered binders:\n";
+      List.iter
+        (fun name ->
+          let (module B : Binder.S) = Binder.require name in
+          Printf.printf "  %-10s %s\n" B.name B.description)
+        (Binder.names ())
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the benchmark suite and the registered binders.")
+    Term.(const run $ format_arg)
 
 (* ---------------------------------------------------------------- show *)
 
@@ -89,9 +141,10 @@ let show_cmd =
 (* ---------------------------------------------------------------- bind *)
 
 let binder_arg =
-  let algo = Arg.enum [ ("area", `Area); ("power", `Power); ("obf", `Obf); ("codesign", `Codesign) ] in
-  Arg.(value & opt algo `Codesign & info [ "binder" ] ~docv:"ALGO"
-         ~doc:"Binding algorithm: area, power, obf, or codesign.")
+  let algo = Arg.enum (List.map (fun n -> (n, n)) (Binder.names ())) in
+  Arg.(value & opt algo "codesign" & info [ "binder" ] ~docv:"ALGO"
+         ~doc:("Binding algorithm, resolved from the binder registry: "
+               ^ String.concat ", " (Binder.names ()) ^ "."))
 
 let kind_arg =
   let op_kind = Arg.enum [ ("add", Dfg.Add); ("mul", Dfg.Mul) ] in
@@ -104,8 +157,32 @@ let locked_fus_arg =
 let minterms_arg =
   Arg.(value & opt int 2 & info [ "minterms" ] ~docv:"M" ~doc:"Locked inputs per FU.")
 
+let json_of_config config =
+  Json.Obj
+    [
+      ("scheme", Json.String (Scheme.name (Config.scheme config)));
+      ( "locks",
+        Json.List
+          (List.map
+             (fun fu ->
+               Json.Obj
+                 [
+                   ("fu", Json.Int fu);
+                   ( "minterms",
+                     Json.List
+                       (List.map
+                          (fun m ->
+                            let a, b = Rb_dfg.Minterm.unpack m in
+                            Json.List [ Json.Int a; Json.Int b ])
+                          (Rb_dfg.Minterm.Set.elements (Config.minterms_of config fu)))
+                   );
+                 ])
+             (Config.locked_fus config)) );
+      ("lambda_per_fu", Json.float_or_string (Config.lambda_per_fu config));
+    ]
+
 let bind_cmd =
-  let run name seed binder kind locked_fu_count minterms_per_fu =
+  let run name seed binder kind locked_fu_count minterms_per_fu format =
     Result.bind (lookup name) (fun b ->
         let schedule = Benchmark.schedule b in
         let trace = Benchmark.trace ~seed b in
@@ -126,31 +203,63 @@ let bind_cmd =
               { Rb_core.Codesign.scheme = Scheme.Sfll_rem; locked_fus; minterms_per_fu;
                 candidates }
             in
+            (* The co-designed configuration seeds input.config; binders
+               with a fixed a-priori lock bind under it, the codesign
+               binder re-derives its search spec from its shape. *)
             let codesigned = Rb_core.Codesign.heuristic k schedule allocation spec in
-            let config = codesigned.Rb_core.Codesign.config in
-            let binding =
-              match binder with
-              | `Area -> Rb_hls.Area_binding.bind schedule allocation
-              | `Power -> Rb_hls.Power_binding.bind schedule allocation ~profile
-              | `Obf -> Rb_core.Obf_binding.bind k config schedule allocation
-              | `Codesign -> codesigned.Rb_core.Codesign.binding
+            let input =
+              { Binder.schedule; allocation; profile; k;
+                config = codesigned.Rb_core.Codesign.config; candidates }
             in
+            let out = Binder.bind binder input in
+            let config = out.Binder.config in
+            let binding = out.Binder.binding in
             let report =
               Exec.application_errors schedule trace ~fu_of_op:(Binding.fu_array binding)
                 ~config
             in
-            Format.printf "locking: %a@." Config.pp config;
-            Format.printf "predicted SAT iterations per FU (Eqn. 1): %.0f@."
-              (Config.lambda_per_fu config);
-            Format.printf "expected application errors (Eqn. 2): %d@."
-              (Cost.expected_errors k binding config);
-            Format.printf "measured wrong-key error events: %d over %d samples@."
-              report.Exec.error_events report.Exec.samples;
-            Format.printf "corrupted samples: %d, longest error burst: %d cycles@."
-              report.Exec.corrupted_samples report.Exec.max_consecutive_cycles;
-            Format.printf "registers: %d, switching rate: %.3f@."
-              (Rb_hls.Registers.count binding)
-              (Rb_hls.Switching.rate binding profile);
+            (match format with
+             | `Json ->
+               print_endline
+                 (Json.to_string
+                    (Json.Obj
+                       [
+                         ("benchmark", Json.String b.Benchmark.name);
+                         ("binder", Json.String binder);
+                         ("kind", Json.String (Dfg.kind_label kind));
+                         ("config", json_of_config config);
+                         ("expected_errors", Json.Int (Cost.expected_errors k binding config));
+                         ( "measured",
+                           Json.Obj
+                             [
+                               ("error_events", Json.Int report.Exec.error_events);
+                               ("samples", Json.Int report.Exec.samples);
+                               ("corrupted_samples", Json.Int report.Exec.corrupted_samples);
+                               ("max_burst_cycles",
+                                Json.Int report.Exec.max_consecutive_cycles);
+                             ] );
+                         ( "overhead",
+                           Json.Obj
+                             [
+                               ("registers", Json.Int (Rb_hls.Registers.count binding));
+                               ("switching_rate",
+                                Json.float_or_string (Rb_hls.Switching.rate binding profile));
+                             ] );
+                       ]))
+             | `Text ->
+               Format.printf "binder: %s@." binder;
+               Format.printf "locking: %a@." Config.pp config;
+               Format.printf "predicted SAT iterations per FU (Eqn. 1): %.0f@."
+                 (Config.lambda_per_fu config);
+               Format.printf "expected application errors (Eqn. 2): %d@."
+                 (Cost.expected_errors k binding config);
+               Format.printf "measured wrong-key error events: %d over %d samples@."
+                 report.Exec.error_events report.Exec.samples;
+               Format.printf "corrupted samples: %d, longest error burst: %d cycles@."
+                 report.Exec.corrupted_samples report.Exec.max_consecutive_cycles;
+               Format.printf "registers: %d, switching rate: %.3f@."
+                 (Rb_hls.Registers.count binding)
+                 (Rb_hls.Switching.rate binding profile));
             Ok ()
           end
         end)
@@ -159,7 +268,7 @@ let bind_cmd =
     (Cmd.info "bind" ~doc:"Bind and lock one benchmark; report error and overhead.")
     Term.(term_result
             (const run $ benchmark_arg $ seed_arg $ binder_arg $ kind_arg $ locked_fus_arg
-             $ minterms_arg))
+             $ minterms_arg $ format_arg))
 
 (* ---------------------------------------------------------------- lint *)
 
@@ -168,11 +277,6 @@ let lint_cmd =
     Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~docv:"NAME"
            ~doc:"Lint a single benchmark (default: the whole suite plus the \
                  gate-level lock constructions).")
-  in
-  let format_arg =
-    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
-    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT"
-           ~doc:"Report format: text or json.")
   in
   let min_lambda_arg =
     Arg.(value & opt (some float) None & info [ "min-lambda" ] ~docv:"L"
@@ -225,18 +329,21 @@ let lint_cmd =
       Rb_lint.Lint.locked (Rb_netlist.Lock.permutation_network ~rng ~layers:2 base);
     ]
   in
-  let run bench seed locked_fu_count minterms_per_fu min_lambda format =
+  let run bench seed locked_fu_count minterms_per_fu min_lambda format jobs =
     let benches =
       match bench with
       | None -> Ok (Benchmark.all ())
       | Some name -> Result.map (fun b -> [ b ]) (lookup name)
     in
     Result.bind benches (fun benches ->
+        let design_reports =
+          Pool.with_pool ~jobs (fun pool ->
+              Pool.map_list pool
+                ~f:(fun b -> lint_design b seed locked_fu_count minterms_per_fu min_lambda)
+                benches)
+        in
         let reports =
-          (if bench = None then lint_gates seed else [])
-          @ List.concat_map
-              (fun b -> lint_design b seed locked_fu_count minterms_per_fu min_lambda)
-              benches
+          (if bench = None then lint_gates seed else []) @ List.concat design_reports
         in
         (match format with
          | `Json -> print_endline (Rb_lint.Report.json_of_reports reports)
@@ -256,7 +363,7 @@ let lint_cmd =
              benchmark suite (non-zero exit on errors).")
     Term.(term_result
             (const run $ bench_arg $ seed_arg $ locked_fus_arg $ minterms_arg
-             $ min_lambda_arg $ format_arg))
+             $ min_lambda_arg $ format_arg $ jobs_arg))
 
 (* -------------------------------------------------------------- attack *)
 

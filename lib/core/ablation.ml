@@ -155,12 +155,46 @@ let allocation_sensitivity ?(seed = 3) dfg make_trace =
       Option.map
         (fun r ->
           {
-            label = Printf.sprintf "%d FUs/kind" fu_budget;
+            label = string_of_int fu_budget ^ " FUs/kind";
             obf_vs_area = r;
             n_cycles = Schedule.n_cycles schedule;
           })
         (ratio_for ~seed schedule trace Dfg.Add))
     [ 1; 2; 3; 4 ]
+
+type budget_row = { prefix_len : int; expected : int; measured : int }
+
+let profiling_budget ?(n_candidates = 10) ?(locked_fus = 2) ?(minterms_per_fu = 2)
+    ?(prefix_lengths = [ 8; 16; 32; 64; 128; 256 ]) schedule full kind =
+  let allocation = Allocation.for_schedule schedule in
+  List.map
+    (fun len ->
+      let prefix = Trace.sub full ~pos:0 ~len in
+      let k = Kmatrix.build prefix in
+      let candidates =
+        Array.of_list (Kmatrix.top_minterms ~kind k ~n:n_candidates)
+      in
+      let fus = Allocation.fu_ids allocation kind in
+      let spec =
+        {
+          Codesign.scheme = Rb_locking.Scheme.Sfll_rem;
+          locked_fus = List.filteri (fun i _ -> i < locked_fus) fus;
+          minterms_per_fu = min minterms_per_fu (Array.length candidates);
+          candidates;
+        }
+      in
+      let solution = Codesign.heuristic k schedule allocation spec in
+      let report =
+        Exec.application_errors schedule full
+          ~fu_of_op:(Binding.fu_array solution.Codesign.binding)
+          ~config:solution.Codesign.config
+      in
+      {
+        prefix_len = len;
+        expected = solution.Codesign.errors;
+        measured = report.Exec.error_events;
+      })
+    prefix_lengths
 
 let scheduler_sensitivity ?(seed = 3) dfg make_trace =
   let schedules =

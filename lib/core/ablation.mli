@@ -88,3 +88,24 @@ val scheduler_sensitivity :
   ?seed:int -> Rb_dfg.Dfg.t -> (unit -> Rb_sim.Trace.t) -> sensitivity_row list
 (** Same report for the two scheduling front ends (path-based list
     scheduling vs force-directed). *)
+
+(** Profiling-budget sensitivity: Eqn. 2 of a lock co-designed on a
+    trace prefix, and the corruption that lock actually injects when
+    the full trace is replayed. *)
+type budget_row = {
+  prefix_len : int;  (** samples the K matrix was estimated on *)
+  expected : int;  (** Eqn. 2 on the prefix's K *)
+  measured : int;  (** error events replayed on the full trace *)
+}
+
+val profiling_budget :
+  ?n_candidates:int ->
+  ?locked_fus:int ->
+  ?minterms_per_fu:int ->
+  ?prefix_lengths:int list ->
+  Rb_sched.Schedule.t ->
+  Rb_sim.Trace.t ->
+  Dfg.op_kind ->
+  budget_row list
+(** Re-run candidate selection and co-design on growing trace prefixes
+    (default lengths 8..256, 2 locked FUs x 2 minterms). *)

@@ -1,0 +1,47 @@
+module Binder = Rb_hls.Binder
+module Config = Rb_locking.Config
+module Minterm = Rb_dfg.Minterm
+
+module Obf = struct
+  let name = "obf"
+  let description = "obfuscation-aware binding for a fixed lock (Sec. IV)"
+  let bind (input : Binder.input) =
+    { Binder.binding = Obf_binding.bind input.k input.config input.schedule input.allocation;
+      config = input.config }
+end
+
+module Codesign_heuristic = struct
+  let name = "codesign"
+  let description = "binding-obfuscation co-design, P-time heuristic (Sec. V)"
+
+  let bind (input : Binder.input) =
+    let locked_fus = Config.locked_fus input.config in
+    if locked_fus = [] then
+      invalid_arg "codesign binder: input.config locks no FU";
+    let minterms_per_fu =
+      List.fold_left
+        (fun acc fu -> max acc (Minterm.Set.cardinal (Config.minterms_of input.config fu)))
+        1 locked_fus
+    in
+    let spec =
+      { Codesign.scheme = Config.scheme input.config;
+        locked_fus;
+        minterms_per_fu = min minterms_per_fu (Array.length input.candidates);
+        candidates = input.candidates }
+    in
+    let solution = Codesign.heuristic input.k input.schedule input.allocation spec in
+    { Binder.binding = solution.Codesign.binding; config = solution.Codesign.config }
+end
+
+let registered = ref false
+let registered_mutex = Mutex.create ()
+
+let ensure_registered () =
+  Mutex.lock registered_mutex;
+  let fresh = not !registered in
+  registered := true;
+  Mutex.unlock registered_mutex;
+  if fresh then begin
+    Binder.register (module Obf);
+    Binder.register (module Codesign_heuristic)
+  end

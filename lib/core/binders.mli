@@ -1,0 +1,22 @@
+(** The security-aware binders behind the {!Rb_hls.Binder} registry.
+
+    [Rb_hls.Binder] registers the two baselines itself; this module
+    contributes the paper's algorithms:
+
+    - ["obf"] — obfuscation-aware binding (Sec. IV) for the fixed
+      locking configuration in [input.config];
+    - ["codesign"] — the P-time co-design heuristic (Sec. V): re-derives
+      the search spec (locked FUs, per-FU budget) from the shape of
+      [input.config], searches [input.candidates], and returns both the
+      chosen configuration and its binding.
+
+    Call {!ensure_registered} once at startup before resolving either
+    name; module-initializer registration alone is not reliable because
+    the linker may drop an otherwise-unreferenced module. *)
+
+module Obf : Rb_hls.Binder.S
+module Codesign_heuristic : Rb_hls.Binder.S
+
+val ensure_registered : unit -> unit
+(** Register both binders; idempotent, safe to call from multiple
+    entry points. *)

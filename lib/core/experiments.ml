@@ -9,6 +9,20 @@ module Config = Rb_locking.Config
 module Combi = Rb_util.Combi
 module Rng = Rb_util.Rng
 module Stats = Rb_util.Stats
+module Pool = Rb_util.Pool
+
+(* Fan a chunk map out over the pool when one is supplied; the inline
+   fallback keeps every driver usable without a pool (and is what a
+   nested map inside a pool task resolves to). *)
+let pool_map pool f arr =
+  match pool with
+  | None -> Array.map f arr
+  | Some pool -> Pool.map_array pool ~f arr
+
+let pool_map_list pool f l =
+  match pool with
+  | None -> List.map f l
+  | Some pool -> Pool.map_list pool ~f l
 
 (* Every binding/config this module produces is asserted lint-clean
    before it is measured, so a regression in a binder or the co-design
@@ -119,8 +133,16 @@ let run_codesign_optimal ~max_optimal_assignments k schedule allocation spec =
     in
     shrink (Array.length spec.Codesign.candidates - 1)
 
-let sweep ?(seed = 7) ?(max_combos_per_config = 2000) ?(max_optimal_assignments = 300_000)
-    ?(fu_counts = [ 1; 2; 3 ]) ?(minterm_counts = [ 1; 2; 3 ]) ctx kind =
+(* Combination ranges are evaluated in fixed-size chunks, each an
+   independent pool task. The chunk layout and every per-sample RNG
+   derive from the harness seed and the combination index alone — never
+   from the worker count — so a parallel sweep is byte-identical to the
+   sequential one. *)
+let combo_chunk_size = 256
+
+let sweep ?pool ?(seed = 7) ?(max_combos_per_config = 2000)
+    ?(max_optimal_assignments = 300_000) ?(fu_counts = [ 1; 2; 3 ])
+    ?(minterm_counts = [ 1; 2; 3 ]) ctx kind =
   let candidates = candidates_for ctx kind in
   let n_cands = Array.length candidates in
   let fus = Allocation.fu_ids ctx.allocation kind in
@@ -131,10 +153,15 @@ let sweep ?(seed = 7) ?(max_combos_per_config = 2000) ?(max_optimal_assignments 
     let fast = Obf_binding.Fast.prepare table ctx.schedule ctx.allocation ~kind in
     let run_config locked_fu_count minterms_per_fu =
       let locked_fus = List.filteri (fun i _ -> i < locked_fu_count) fus in
+      let n_locked = List.length locked_fus in
       let area_w = fixed_binding_weights table ctx.area_binding locked_fus in
       let power_w = fixed_binding_weights table ctx.power_binding locked_fus in
       let per_fu = Combi.choose n_cands minterms_per_fu in
       let combos_total = Combi.product_size (List.map (fun _ -> per_fu) locked_fus) in
+      let config_seed =
+        seed + (1000 * locked_fu_count) + minterms_per_fu
+        + Hashtbl.hash (ctx.benchmark, Dfg.kind_label kind)
+      in
       let eval assignment =
         let locks = List.combine locked_fus assignment in
         {
@@ -143,27 +170,39 @@ let sweep ?(seed = 7) ?(max_combos_per_config = 2000) ?(max_optimal_assignments 
           e_obf = Obf_binding.Fast.best_errors fast ~locks;
         }
       in
-      let combos, sampled =
+      let n_combos, sampled, assignment_at =
         if combos_total <= max_combos_per_config then begin
           let indices = Array.init n_cands Fun.id in
           let subsets = Array.of_list (Combi.k_subsets indices minterms_per_fu) in
-          let choices = Array.of_list (List.map (fun _ -> subsets) locked_fus) in
-          let acc = ref [] in
-          Combi.fold_cartesian choices ~init:() ~f:(fun () tuple ->
-              acc := eval (Array.to_list tuple) :: !acc);
-          (Array.of_list (List.rev !acc), false)
+          let base = Array.length subsets in
+          (* Linear index -> one subset per locked FU, first FU most
+             significant: lexicographic enumeration order. *)
+          let assignment_at t =
+            let rec go j t acc =
+              if j < 0 then acc else go (j - 1) (t / base) (subsets.(t mod base) :: acc)
+            in
+            go (n_locked - 1) t []
+          in
+          (combos_total, false, assignment_at)
         end
         else begin
-          let rng =
-            Rng.create (seed + (1000 * locked_fu_count) + minterms_per_fu
-                        + Hashtbl.hash (ctx.benchmark, Dfg.kind_label kind))
+          let assignment_at t =
+            let rng = Rng.create (Hashtbl.hash (config_seed, t)) in
+            List.map (fun _ -> random_subset rng n_cands minterms_per_fu) locked_fus
           in
-          let sample _ =
-            eval (List.map (fun _ -> random_subset rng n_cands minterms_per_fu) locked_fus)
-          in
-          (Array.init max_combos_per_config sample, true)
+          (max_combos_per_config, true, assignment_at)
         end
       in
+      let n_chunks = (n_combos + combo_chunk_size - 1) / combo_chunk_size in
+      let chunks =
+        pool_map pool
+          (fun chunk ->
+            let lo = chunk * combo_chunk_size in
+            let len = min combo_chunk_size (n_combos - lo) in
+            Array.init len (fun i -> eval (assignment_at (lo + i))))
+          (Array.init n_chunks Fun.id)
+      in
+      let combos = Array.concat (Array.to_list chunks) in
       let spec =
         {
           Codesign.scheme = Rb_locking.Scheme.Sfll_rem;
@@ -178,8 +217,9 @@ let sweep ?(seed = 7) ?(max_combos_per_config = 2000) ?(max_optimal_assignments 
       let heur = Codesign.heuristic ctx.k ctx.schedule ctx.allocation spec in
       assert_lint ~config:heur.Codesign.config ~candidates
         ~subject:
-          (Printf.sprintf "%s/%s/%dFU x %dm/codesign" ctx.benchmark
-             (Dfg.kind_label kind) locked_fu_count minterms_per_fu)
+          (ctx.benchmark ^ "/" ^ Dfg.kind_label kind ^ "/"
+           ^ string_of_int locked_fu_count ^ "FU x "
+           ^ string_of_int minterms_per_fu ^ "m/codesign")
         ctx.schedule ctx.allocation heur.Codesign.binding;
       {
         kind;
@@ -490,3 +530,117 @@ let post_binding ?(key_bits = 32) ?(locked_fus = 2) ?(minterms_per_fu = 2) ctx k
           List.fold_left (fun acc pool -> max acc (List.length pool)) 1 per_fu_pool);
       }
   end
+
+(* ------------------------------------------------------------- suites *)
+
+type sweep_key = { sk_benchmark : string; sk_kind : Dfg.op_kind }
+
+let both_kinds ctxs =
+  List.concat_map (fun ctx -> [ (ctx, Dfg.Add); (ctx, Dfg.Mul) ]) ctxs
+
+let sweep_suite ?pool ?seed ?max_combos_per_config ?max_optimal_assignments
+    ?fu_counts ?minterm_counts ctxs =
+  (* One task per (benchmark, kind); inside a worker the nested chunk
+     map of [sweep] degrades to inline evaluation, so the same pool
+     serves both levels without deadlock. *)
+  pool_map_list pool
+    (fun (ctx, kind) ->
+      ( { sk_benchmark = ctx.benchmark; sk_kind = kind },
+        sweep ?pool ?seed ?max_combos_per_config ?max_optimal_assignments
+          ?fu_counts ?minterm_counts ctx kind ))
+    (both_kinds ctxs)
+
+let fig4_rows suite =
+  List.filter_map
+    (fun (key, results) -> fig4_row ~benchmark:key.sk_benchmark key.sk_kind results)
+    suite
+
+let pooled_results suite = List.concat_map snd suite
+
+let concentrations ctxs =
+  List.concat_map
+    (fun ctx ->
+      List.concat_map
+        (fun kind ->
+          Array.to_list (candidates_for ctx kind)
+          |> List.map (fun m -> Kmatrix.op_concentration ctx.k m))
+        [ Dfg.Add; Dfg.Mul ])
+    ctxs
+
+type reduced_run = {
+  rr_benchmark : string;
+  rr_kind : Dfg.op_kind;
+  rr_locked_fu_count : int;
+  rr_minterms_per_fu : int;
+  rr_candidates_used : int;
+}
+
+let reduced_optimal_runs ?(full_candidates = 10) suite =
+  List.concat_map
+    (fun (key, results) ->
+      List.filter_map
+        (fun r ->
+          if r.optimal_candidates_used < full_candidates then
+            Some
+              {
+                rr_benchmark = key.sk_benchmark;
+                rr_kind = key.sk_kind;
+                rr_locked_fu_count = r.locked_fu_count;
+                rr_minterms_per_fu = r.minterms_per_fu;
+                rr_candidates_used = r.optimal_candidates_used;
+              }
+          else None)
+        results)
+    suite
+
+type headline_summary = {
+  hl_obf_mean : float;
+  hl_cd_mean : float;
+  hl_gap_configs : int;
+  hl_gap_mean : float;
+  hl_gap_worst : float;
+}
+
+let headline ?(full_candidates = 10) suite =
+  let obf = ref [] and cd = ref [] and gaps = ref [] in
+  List.iter
+    (fun (key, results) ->
+      (match fig4_row ~benchmark:key.sk_benchmark key.sk_kind results with
+       | None -> ()
+       | Some row ->
+         obf := row.obf_vs_area :: row.obf_vs_power :: !obf;
+         cd := row.cd_heur_vs_area :: row.cd_heur_vs_power :: !cd);
+      List.iter
+        (fun r ->
+          (* heuristic vs optimal, only where optimal searched the full
+             candidate list *)
+          if r.optimal_candidates_used = full_candidates then begin
+            let opt = float_of_int r.e_codesign_optimal in
+            let heur = float_of_int r.e_codesign_heuristic in
+            if opt > 0.0 then gaps := ((opt -. heur) /. opt *. 100.0) :: !gaps
+          end)
+        results)
+    suite;
+  {
+    hl_obf_mean = Stats.mean !obf;
+    hl_cd_mean = Stats.mean !cd;
+    hl_gap_configs = List.length !gaps;
+    hl_gap_mean = Stats.mean !gaps;
+    hl_gap_worst = Stats.maximum !gaps;
+  }
+
+let overhead_suite ?pool ?seed ?combos_per_config ctxs =
+  pool_map_list pool (fun ctx -> overhead ?seed ?combos_per_config ctx) ctxs
+
+let quality_suite ?pool ?locked_fus ?minterms_per_fu ~trace_of ctxs =
+  pool_map_list pool
+    (fun (ctx, kind) ->
+      quality ?locked_fus ?minterms_per_fu ~trace:(trace_of ctx) ctx kind)
+    (both_kinds ctxs)
+  |> List.filter_map Fun.id
+
+let post_binding_suite ?pool ?key_bits ?locked_fus ?minterms_per_fu ctxs =
+  pool_map_list pool
+    (fun (ctx, kind) -> post_binding ?key_bits ?locked_fus ?minterms_per_fu ctx kind)
+    (both_kinds ctxs)
+  |> List.filter_map Fun.id

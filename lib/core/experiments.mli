@@ -65,6 +65,7 @@ type config_result = {
 }
 
 val sweep :
+  ?pool:Rb_util.Pool.t ->
   ?seed:int ->
   ?max_combos_per_config:int ->
   ?max_optimal_assignments:int ->
@@ -78,7 +79,13 @@ val sweep :
     assignments, FU counts and minterm counts [\[1;2;3\]]. Returns one
     result per feasible configuration (infeasible ones — more locked
     FUs than allocated, fewer candidates than the budget — are
-    skipped). *)
+    skipped).
+
+    With [?pool], combination evaluation is fanned out in fixed-size
+    chunks of the (lexicographically ordered) combination space; every
+    sampled combination derives its RNG from the seed and its own
+    index, so the result is byte-identical for any worker count,
+    including [None]. *)
 
 val ratio_vs : int -> int -> float
 (** [ratio_vs security baseline] with the zero-baseline floor. *)
@@ -192,3 +199,94 @@ val post_binding :
     from the same candidate list: for each locked FU of the area-aware
     binding, add the candidate with the most occurrences over that
     FU's operations, until the co-design error level is met. *)
+
+(** {2 Suites}
+
+    Whole-evaluation drivers: pure compute over a list of benchmark
+    contexts, fanned out over an optional {!Rb_util.Pool}. All suites
+    hold the determinism contract — output is a pure function of the
+    inputs and seeds, independent of [?pool] and its worker count.
+    Rendering lives in {!Render}. *)
+
+(** Identifies one sweep within a suite. *)
+type sweep_key = { sk_benchmark : string; sk_kind : Dfg.op_kind }
+
+val sweep_suite :
+  ?pool:Rb_util.Pool.t ->
+  ?seed:int ->
+  ?max_combos_per_config:int ->
+  ?max_optimal_assignments:int ->
+  ?fu_counts:int list ->
+  ?minterm_counts:int list ->
+  context list ->
+  (sweep_key * config_result list) list
+(** {!sweep} over every (benchmark, kind) pair, in benchmark order
+    with Add before Mul. One pool task per pair; the nested
+    combination-chunk fan-out of {!sweep} runs inline inside those
+    tasks. *)
+
+val fig4_rows : (sweep_key * config_result list) list -> fig4_row list
+(** The {!fig4_row} of every sweep that has at least one feasible
+    configuration, in suite order. *)
+
+val pooled_results : (sweep_key * config_result list) list -> config_result list
+(** All configuration results of a suite flattened, e.g. for
+    {!fig5_cells}. *)
+
+val concentrations : context list -> float list
+(** Candidate op-concentration of every candidate minterm across the
+    suite (the workload statistic quoted next to Fig. 4). *)
+
+(** One optimal co-design run that searched a shortened candidate
+    list (disclosed alongside Fig. 5). *)
+type reduced_run = {
+  rr_benchmark : string;
+  rr_kind : Dfg.op_kind;
+  rr_locked_fu_count : int;
+  rr_minterms_per_fu : int;
+  rr_candidates_used : int;
+}
+
+val reduced_optimal_runs :
+  ?full_candidates:int -> (sweep_key * config_result list) list -> reduced_run list
+(** Configurations whose optimal run used fewer than [full_candidates]
+    (default 10) candidates. *)
+
+(** The paper-abstract numbers, computed from a sweep suite. *)
+type headline_summary = {
+  hl_obf_mean : float;  (** mean obf-aware error increase (paper: 26x) *)
+  hl_cd_mean : float;  (** mean co-design error increase (paper: 99x) *)
+  hl_gap_configs : int;  (** full-search configurations compared *)
+  hl_gap_mean : float;  (** mean heuristic-vs-optimal gap, percent *)
+  hl_gap_worst : float;  (** worst gap, percent (paper: < 0.5%) *)
+}
+
+val headline :
+  ?full_candidates:int -> (sweep_key * config_result list) list -> headline_summary
+
+val overhead_suite :
+  ?pool:Rb_util.Pool.t ->
+  ?seed:int ->
+  ?combos_per_config:int ->
+  context list ->
+  overhead_result list
+(** {!overhead} for every context, one pool task each. *)
+
+val quality_suite :
+  ?pool:Rb_util.Pool.t ->
+  ?locked_fus:int ->
+  ?minterms_per_fu:int ->
+  trace_of:(context -> Rb_sim.Trace.t) ->
+  context list ->
+  quality_result list
+(** {!quality} over every (benchmark, kind) pair; infeasible pairs are
+    dropped. [trace_of] supplies each benchmark's replay trace. *)
+
+val post_binding_suite :
+  ?pool:Rb_util.Pool.t ->
+  ?key_bits:int ->
+  ?locked_fus:int ->
+  ?minterms_per_fu:int ->
+  context list ->
+  post_binding_result list
+(** {!post_binding} over every (benchmark, kind) pair. *)

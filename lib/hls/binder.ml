@@ -1,0 +1,74 @@
+type input = {
+  schedule : Rb_sched.Schedule.t;
+  allocation : Allocation.t;
+  profile : Profile.t;
+  k : Rb_sim.Kmatrix.t;
+  config : Rb_locking.Config.t;
+  candidates : Rb_dfg.Minterm.t array;
+}
+
+type output = { binding : Binding.t; config : Rb_locking.Config.t }
+
+module type S = sig
+  val name : string
+  val description : string
+  val bind : input -> output
+end
+
+(* Registration happens once at startup (module initializers and
+   explicit ensure_registered calls); lookups after that are
+   read-only, so a plain hash table under a mutex suffices. *)
+let registry : (string, (module S)) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+
+let register (module B : S) =
+  Mutex.lock registry_mutex;
+  let duplicate = Hashtbl.mem registry B.name in
+  if not duplicate then Hashtbl.replace registry B.name (module B : S);
+  Mutex.unlock registry_mutex;
+  if duplicate then
+    invalid_arg (Printf.sprintf "Binder.register: duplicate binder %S" B.name)
+
+let find name =
+  Mutex.lock registry_mutex;
+  let r = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mutex;
+  r
+
+let names () =
+  Mutex.lock registry_mutex;
+  let l = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort String.compare l
+
+let require name =
+  match find name with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Binder.require: unknown binder %S (known: %s)" name
+         (String.concat ", " (names ())))
+
+let bind name input =
+  let (module B : S) = require name in
+  B.bind input
+
+module Area = struct
+  let name = "area"
+  let description = "area-aware baseline: minimize registers/transfers [20]"
+  let bind input =
+    { binding = Area_binding.bind input.schedule input.allocation;
+      config = input.config }
+end
+
+module Power = struct
+  let name = "power"
+  let description = "power-aware baseline: minimize input switching [19]"
+  let bind input =
+    { binding = Power_binding.bind input.schedule input.allocation ~profile:input.profile;
+      config = input.config }
+end
+
+let () =
+  register (module Area);
+  register (module Power)

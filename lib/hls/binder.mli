@@ -1,0 +1,55 @@
+(** The uniform binder interface and its name-keyed registry.
+
+    All four binding algorithms (area-aware, power-aware,
+    obfuscation-aware, binding-obfuscation co-design) implement one
+    module type {!S} over one {!input} record, so the CLI, the bench
+    harness and the experiment drivers select binders by name instead
+    of repeating ad-hoc match arms.
+
+    This module registers the two baseline binders that live in
+    [Rb_hls] ("area", "power"); the security-aware binders live in
+    [Rb_core] and are registered by [Rb_core.Binders.ensure_registered]
+    — call that once at startup before resolving their names. *)
+
+(** Everything any binder may consume. Baseline binders ignore the
+    locking-related fields. *)
+type input = {
+  schedule : Rb_sched.Schedule.t;
+  allocation : Allocation.t;
+  profile : Profile.t;  (** workload profile (power-aware binding) *)
+  k : Rb_sim.Kmatrix.t;  (** K matrix (security-aware binding) *)
+  config : Rb_locking.Config.t;  (** locking configuration to bind under *)
+  candidates : Rb_dfg.Minterm.t array;
+      (** candidate locked-input list C (co-design) *)
+}
+
+(** A binding plus the locking configuration it was built for. Binders
+    with a fixed a-priori lock echo [input.config]; co-design returns
+    the configuration it chose. *)
+type output = { binding : Binding.t; config : Rb_locking.Config.t }
+
+module type S = sig
+  val name : string
+  (** Registry key ("area", "power", "obf", "codesign"). *)
+
+  val description : string
+  (** One line for [--help] and listings. *)
+
+  val bind : input -> output
+end
+
+val register : (module S) -> unit
+(** Add a binder to the registry. Raises [Invalid_argument] on a
+    duplicate name. *)
+
+val find : string -> (module S) option
+
+val require : string -> (module S)
+(** As {!find}, but raises [Invalid_argument] naming the known binders
+    when the name is unknown. *)
+
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val bind : string -> input -> output
+(** [bind name input] is [require name] applied to [input]. *)

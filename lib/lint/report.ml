@@ -33,23 +33,12 @@ let pp fmt t =
 
 (* ------------------------------------------------------------- JSON *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+module Json = Rb_util.Json
 
 let json_of_location loc =
-  let obj kind index = Printf.sprintf {|{"kind":"%s","index":%d}|} kind index in
+  let obj kind index =
+    Json.Obj [ ("kind", Json.String kind); ("index", Json.Int index) ]
+  in
   match loc with
   | Diagnostic.Net n -> obj "net" n
   | Diagnostic.Gate g -> obj "gate" g
@@ -57,25 +46,29 @@ let json_of_location loc =
   | Diagnostic.Output o -> obj "output" o
   | Diagnostic.Op o -> obj "op" o
   | Diagnostic.Fu f -> obj "fu" f
-  | Diagnostic.Whole_design -> {|{"kind":"design"}|}
+  | Diagnostic.Whole_design -> Json.Obj [ ("kind", Json.String "design") ]
 
 let json_of_diagnostic d =
-  let hint =
-    match d.Diagnostic.hint with
-    | Some h -> Printf.sprintf {|,"hint":"%s"|} (escape h)
-    | None -> ""
-  in
-  Printf.sprintf {|{"rule":"%s","severity":"%s","location":%s,"message":"%s"%s}|}
-    (escape d.Diagnostic.rule)
-    (Diagnostic.severity_label d.Diagnostic.severity)
-    (json_of_location d.Diagnostic.location)
-    (escape d.Diagnostic.message)
-    hint
+  Json.Obj
+    ([
+       ("rule", Json.String d.Diagnostic.rule);
+       ("severity", Json.String (Diagnostic.severity_label d.Diagnostic.severity));
+       ("location", json_of_location d.Diagnostic.location);
+       ("message", Json.String d.Diagnostic.message);
+     ]
+    @ match d.Diagnostic.hint with
+      | Some h -> [ ("hint", Json.String h) ]
+      | None -> [])
 
-let to_json t =
-  Printf.sprintf {|{"subject":"%s","errors":%d,"warnings":%d,"diagnostics":[%s]}|}
-    (escape t.subject) (error_count t) (warning_count t)
-    (String.concat "," (List.map json_of_diagnostic t.diagnostics))
+let json t =
+  Json.Obj
+    [
+      ("subject", Json.String t.subject);
+      ("errors", Json.Int (error_count t));
+      ("warnings", Json.Int (warning_count t));
+      ("diagnostics", Json.List (List.map json_of_diagnostic t.diagnostics));
+    ]
 
-let json_of_reports reports =
-  Printf.sprintf "[%s]" (String.concat "," (List.map to_json reports))
+let to_json t = Json.to_string (json t)
+
+let json_of_reports reports = Json.to_string (Json.List (List.map json reports))

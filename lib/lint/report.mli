@@ -27,6 +27,10 @@ val pp : Format.formatter -> t -> unit
 (** Text reporter: a header line with the subject and counts, then one
     indented line per diagnostic (plus its fix hint when present). *)
 
+val json : t -> Rb_util.Json.t
+(** The report as a {!Rb_util.Json} value, for embedding in larger
+    documents (e.g. the CLI's [--format json] outputs). *)
+
 val to_json : t -> string
 (** JSON reporter, one object:
     [{"subject": ..., "errors": n, "warnings": n, "diagnostics":

@@ -1,0 +1,30 @@
+(** A minimal JSON document builder.
+
+    One schema module shared by every machine-readable reporter in the
+    repo ([Rb_lint]'s lint reports, [bindlock]'s [--format json]
+    output), so escaping and number formatting stay consistent. Build
+    a {!t} and render it with {!to_string}; there is deliberately no
+    parser — the tools only emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields are emitted in list order *)
+
+val float_or_string : float -> t
+(** [Float f], except non-finite values become their string form
+    ("inf", "-inf", "nan") — JSON has no literals for them, and the
+    experiment reports use infinity for unbounded SAT resilience. *)
+
+val escape : string -> string
+(** JSON string-escape (quotes, backslash, control characters); does
+    not add the surrounding quotes. *)
+
+val to_string : t -> string
+(** Render compactly (no whitespace). Integers print as integers;
+    finite floats with up to six significant digits; non-finite floats
+    as [null] — use {!float_or_string} where they are meaningful. *)

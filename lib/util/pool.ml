@@ -1,0 +1,128 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  space_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Workers flag their domain so a map issued from inside a task falls
+   back to inline execution instead of blocking on its own pool. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop t =
+  Domain.DLS.set inside_worker true;
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work_available t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      Condition.signal t.space_available;
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      space_available = Condition.create ();
+      queue = Queue.create ();
+      capacity = 4 * jobs;
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  while Queue.length t.queue >= t.capacity do
+    Condition.wait t.space_available t.mutex
+  done;
+  Queue.push task t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
+let check_open t =
+  Mutex.lock t.mutex;
+  let closed = t.closed in
+  Mutex.unlock t.mutex;
+  if closed then invalid_arg "Pool.map: pool is shut down"
+
+let map_array t ~f arr =
+  let n = Array.length arr in
+  check_open t;
+  if t.jobs <= 1 || Domain.DLS.get inside_worker || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = ref n in
+    let mutex = Mutex.create () in
+    let finished = Condition.create () in
+    for i = 0 to n - 1 do
+      submit t (fun () ->
+          let outcome =
+            match f arr.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock mutex;
+          (match outcome with
+          | Ok v -> results.(i) <- Some v
+          | Error err -> errors.(i) <- Some err);
+          decr remaining;
+          if !remaining = 0 then Condition.signal finished;
+          Mutex.unlock mutex)
+    done;
+    Mutex.lock mutex;
+    while !remaining > 0 do
+      Condition.wait finished mutex
+    done;
+    Mutex.unlock mutex;
+    (* Re-raise deterministically: the lowest-indexed failure wins,
+       independent of which worker hit it first. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list t ~f l = Array.to_list (map_array t ~f (Array.of_list l))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [];
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,45 @@
+(** A fixed-size domain pool for embarrassingly parallel evaluation.
+
+    The experiment layer fans per-benchmark sweeps and combination
+    ranges out over OCaml 5 domains through this pool. The contract is
+    deterministic parallelism: {!map_list}/{!map_array} collect results
+    by task index, so the output is identical for every worker count —
+    including [jobs = 1], which runs tasks inline in the calling domain
+    with no domain machinery at all.
+
+    Tasks must not share mutable state (each experiment task derives
+    its own {!Rng.t} from the harness seed and its task index); the
+    pool itself only synchronizes the work queue and result slots.
+
+    A map call issued from inside a pool task runs sequentially in that
+    task (nested fan-out never deadlocks the fixed worker set). *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains ([jobs] defaults to
+    {!default_jobs}; values below 1 are clamped to 1). A 1-job pool
+    spawns no domains. *)
+
+val jobs : t -> int
+
+val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** Apply [f] to every element on the pool's workers and return the
+    results in input order. Every element is evaluated exactly once.
+    If any task raises, the remaining tasks still run to completion,
+    and the exception of the lowest-indexed failing task is re-raised
+    (with its backtrace) in the caller. *)
+
+val map_list : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over a list. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent. Mapping over a pool after
+    [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down on exit,
+    including on exceptions. *)

@@ -574,6 +574,98 @@ let test_experiments_overhead_fields () =
   Alcotest.(check bool) "power binder wins its own metric" true
     (ov.Experiments.power_switching <= ov.Experiments.obf_switching +. 1e-9)
 
+(* ------------------------------------------------ security-aware binders *)
+
+module Binder = Rb_hls.Binder
+module Binders = Rb_core.Binders
+
+let test_binders_registered () =
+  Binders.ensure_registered ();
+  Binders.ensure_registered ();
+  let names = Binder.names () in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "area"; "power"; "obf"; "codesign" ]
+
+let binder_input () =
+  let ctx = small_context () in
+  let candidates = Experiments.candidates_for ctx Dfg.Add in
+  let config =
+    Config.make ~scheme:Scheme.Sfll_rem
+      ~locks:[ (0, [ candidates.(0); candidates.(1) ]) ]
+  in
+  ( ctx,
+    {
+      Binder.schedule = ctx.Experiments.schedule;
+      allocation = ctx.Experiments.allocation;
+      profile = ctx.Experiments.profile;
+      k = ctx.Experiments.k;
+      config;
+      candidates;
+    } )
+
+let test_obf_binder_matches_direct () =
+  Binders.ensure_registered ();
+  let ctx, input = binder_input () in
+  let out = Binder.bind "obf" input in
+  let direct =
+    Obf_binding.bind ctx.Experiments.k input.Binder.config ctx.Experiments.schedule
+      ctx.Experiments.allocation
+  in
+  Alcotest.(check bool) "binding identical" true (out.Binder.binding = direct);
+  Alcotest.(check bool) "config echoed" true (out.Binder.config == input.Binder.config)
+
+let test_codesign_binder_chooses_config () =
+  Binders.ensure_registered ();
+  let _, input = binder_input () in
+  let out = Binder.bind "codesign" input in
+  (* same locked-FU set, minterms drawn from the candidate list *)
+  Alcotest.(check (list int)) "locked FUs preserved"
+    (Config.locked_fus input.Binder.config)
+    (Config.locked_fus out.Binder.config);
+  let cands = Array.to_list input.Binder.candidates in
+  List.iter
+    (fun fu ->
+      Minterm.Set.iter
+        (fun m ->
+          Alcotest.(check bool) "minterm from candidate list" true (List.mem m cands))
+        (Config.minterms_of out.Binder.config fu))
+    (Config.locked_fus out.Binder.config)
+
+(* ------------------------------------------------- parallel determinism *)
+
+module Pool = Rb_util.Pool
+module Render = Rb_core.Render
+
+(* The PR-level guard: fanning a sweep suite over a 4-worker pool must
+   render byte-identical tables to the single-job run. Small budgets
+   keep it fast while still exercising the sampled branch and the
+   chunked exhaustive branch. *)
+let test_parallel_determinism () =
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let ctxs = [ small_context () ] in
+        let suite =
+          Experiments.sweep_suite ~pool ~max_combos_per_config:40
+            ~max_optimal_assignments:2_000 ctxs
+        in
+        let fig4 =
+          Render.fig4
+            ~rows:(Experiments.fig4_rows suite)
+            ~concentrations:(Experiments.concentrations ctxs)
+        in
+        let fig5 =
+          Render.fig5
+            ~cells:(Experiments.fig5_cells (Experiments.pooled_results suite))
+            ~reduced:(Experiments.reduced_optimal_runs suite)
+        in
+        (fig4, fig5))
+  in
+  let f4_seq, f5_seq = run 1 in
+  let f4_par, f5_par = run 4 in
+  Alcotest.(check string) "fig4 byte-identical" f4_seq f4_par;
+  Alcotest.(check string) "fig5 byte-identical" f5_seq f5_par
+
 let () =
   Alcotest.run "rb_core"
     [
@@ -623,6 +715,15 @@ let () =
           Alcotest.test_case "post-binding" `Quick test_experiments_post_binding;
           Alcotest.test_case "overhead fields" `Quick test_experiments_overhead_fields;
         ] );
+      ( "binders",
+        [
+          Alcotest.test_case "registry complete" `Quick test_binders_registered;
+          Alcotest.test_case "obf matches direct" `Quick test_obf_binder_matches_direct;
+          Alcotest.test_case "codesign chooses config" `Quick
+            test_codesign_binder_chooses_config;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs=1 = jobs=4" `Slow test_parallel_determinism ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [

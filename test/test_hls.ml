@@ -237,6 +237,72 @@ let test_switching_zero_when_no_transitions () =
   let profile = Profile.build trace in
   Alcotest.(check (float 1e-9)) "no transitions" 0.0 (Switching.rate binding profile)
 
+(* ----------------------------------------------------- binder registry *)
+
+module Binder = Rb_hls.Binder
+module Kmatrix = Rb_sim.Kmatrix
+module Config = Rb_locking.Config
+module Scheme = Rb_locking.Scheme
+
+let binder_input seed =
+  let dfg = Testgen.random_dfg seed ~n_ops:24 in
+  let schedule = Scheduler.path_based dfg in
+  let allocation = Allocation.for_schedule schedule in
+  let trace = Testgen.skewed_trace (seed + 1) dfg in
+  let profile = Profile.build trace in
+  let k = Kmatrix.build trace in
+  let candidates = Array.of_list (Kmatrix.top_minterms ~kind:Dfg.Add k ~n:4) in
+  let config = Config.make ~scheme:Scheme.Sfll_rem ~locks:[ (0, [ candidates.(0) ]) ] in
+  { Binder.schedule; allocation; profile; k; config; candidates }
+
+let test_binder_registry_names () =
+  let names = Binder.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "area"; "power" ];
+  Alcotest.(check (list string)) "sorted" (List.sort String.compare names) names
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let test_binder_require_unknown () =
+  match Binder.require "no-such-binder" with
+  | exception Invalid_argument msg ->
+    (* the error must name the known binders so the CLI message is useful *)
+    Alcotest.(check bool) "names the known binders" true
+      (contains ~affix:"area" msg && contains ~affix:"power" msg)
+  | _ -> Alcotest.fail "unknown binder accepted"
+
+let test_binder_duplicate_rejected () =
+  let module Dup = struct
+    let name = "area"
+    let description = "duplicate"
+    let bind (input : Binder.input) =
+      { Binder.binding = Rb_hls.Area_binding.bind input.schedule input.allocation;
+        config = input.config }
+  end in
+  match Binder.register (module Dup) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate registration accepted"
+
+let test_binder_registry_matches_direct () =
+  let input = binder_input 42 in
+  let via_registry = Binder.bind "area" input in
+  let direct = Rb_hls.Area_binding.bind input.Binder.schedule input.Binder.allocation in
+  Alcotest.(check bool) "area binding identical" true
+    (via_registry.Binder.binding = direct);
+  Alcotest.(check bool) "config echoed" true (via_registry.Binder.config == input.Binder.config);
+  let via_registry = Binder.bind "power" input in
+  let direct =
+    Rb_hls.Power_binding.bind input.Binder.schedule input.Binder.allocation
+      ~profile:input.Binder.profile
+  in
+  Alcotest.(check bool) "power binding identical" true
+    (via_registry.Binder.binding = direct)
+
 let qcheck_baseline_binders_always_valid =
   QCheck2.Test.make ~name:"area/power binders always produce valid bindings" ~count:40
     QCheck2.Gen.(int_range 0 10_000)
@@ -287,6 +353,14 @@ let () =
           Alcotest.test_case "count sane" `Quick test_register_count_positive_when_values_cross;
           Alcotest.test_case "switching bounds" `Quick test_switching_rate_bounds;
           Alcotest.test_case "switching zero" `Quick test_switching_zero_when_no_transitions;
+        ] );
+      ( "binder",
+        [
+          Alcotest.test_case "registry names" `Quick test_binder_registry_names;
+          Alcotest.test_case "unknown binder" `Quick test_binder_require_unknown;
+          Alcotest.test_case "duplicate rejected" `Quick test_binder_duplicate_rejected;
+          Alcotest.test_case "registry matches direct" `Quick
+            test_binder_registry_matches_direct;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ qcheck_baseline_binders_always_valid ] );

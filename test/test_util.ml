@@ -2,6 +2,8 @@ module Rng = Rb_util.Rng
 module Combi = Rb_util.Combi
 module Stats = Rb_util.Stats
 module Table = Rb_util.Table
+module Pool = Rb_util.Pool
+module Json = Rb_util.Json
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -184,6 +186,101 @@ let test_log_bar () =
   Alcotest.(check int) "10x is a third" 10 (String.length (Table.log_bar ~width:30 10.0));
   Alcotest.(check string) "sub-1 clamps" "" (Table.log_bar ~width:30 0.5)
 
+(* ----------------------------------------------------------------- Pool *)
+
+let test_pool_map_matches_sequential () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let arr = Array.init 100 Fun.id in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (array int))
+        "map_array" (Array.map f arr)
+        (Pool.map_array pool ~f arr);
+      let l = List.init 57 Fun.id in
+      Alcotest.(check (list int)) "map_list" (List.map f l) (Pool.map_list pool ~f l))
+
+let test_pool_jobs_one_inline () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamp" 1 (Pool.jobs pool);
+      let self = Domain.self () in
+      let domains =
+        Pool.map_array pool ~f:(fun _ -> Domain.self ()) (Array.make 8 ())
+      in
+      Alcotest.(check bool) "ran in the calling domain" true
+        (Array.for_all (fun d -> d = self) domains))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "lowest index" (Failure "boom5") (fun () ->
+          ignore
+            (Pool.map_array pool
+               ~f:(fun i -> if i = 5 || i = 9 then failwith (Printf.sprintf "boom%d" i) else i)
+               (Array.init 12 Fun.id))))
+
+let test_pool_usable_after_error () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (try
+         ignore
+           (Pool.map_array pool
+              ~f:(fun i -> if i = 0 then failwith "first" else i)
+              (Array.init 10 Fun.id))
+       with Failure _ -> ());
+      Alcotest.(check (array int))
+        "pool still works" (Array.init 10 succ)
+        (Pool.map_array pool ~f:succ (Array.init 10 Fun.id)))
+
+let test_pool_nested_map () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let result =
+        Pool.map_list pool
+          ~f:(fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map_array pool ~f:(fun j -> (i * 10) + j) (Array.init 4 Fun.id)))
+          [ 0; 1; 2 ]
+      in
+      Alcotest.(check (list int)) "nested totals" [ 6; 46; 86 ] result)
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "rejects map"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map_array pool ~f:Fun.id [| 1 |]))
+
+(* ----------------------------------------------------------------- Json *)
+
+let test_json_render () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.String "x\"y");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Float 2.5 ]);
+        ("d", Json.Float 1.0);
+      ]
+  in
+  Alcotest.(check string) "compact render"
+    {|{"a":1,"b":"x\"y","c":[true,null,2.5],"d":1.0}|}
+    (Json.to_string v)
+
+let test_json_nonfinite () =
+  Alcotest.(check string) "inf as string" {|"inf"|}
+    (Json.to_string (Json.float_or_string infinity));
+  Alcotest.(check string) "nan as string" {|"nan"|}
+    (Json.to_string (Json.float_or_string nan));
+  Alcotest.(check string) "finite stays numeric" "2.0"
+    (Json.to_string (Json.float_or_string 2.0));
+  Alcotest.(check string) "raw non-finite Float is null" "null"
+    (Json.to_string (Json.Float infinity))
+
+let test_json_escaping () =
+  Alcotest.(check string) "control characters"
+    "\"a\\nb\\tc\\u0001\\\\\""
+    (Json.to_string (Json.String "a\nb\tc\x01\\"));
+  Alcotest.(check string) "carriage return"
+    "\"x\\ry\""
+    (Json.to_string (Json.String "x\ry"))
+
 (* --------------------------------------------------------------- QCheck *)
 
 let qcheck_choose_symmetry =
@@ -215,9 +312,70 @@ let qcheck_shuffle_multiset =
       Rng.shuffle rng arr;
       List.sort compare (Array.to_list arr) = List.sort compare l)
 
+let qcheck_pool_exactly_once =
+  QCheck2.Test.make ~name:"Pool.map runs each task exactly once, in order" ~count:30
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 0 200))
+    (fun (jobs, n) ->
+      Pool.with_pool ~jobs (fun pool ->
+          let counters = Array.init n (fun _ -> Atomic.make 0) in
+          let results =
+            Pool.map_array pool
+              ~f:(fun i ->
+                Atomic.incr counters.(i);
+                i * 3)
+              (Array.init n Fun.id)
+          in
+          Array.for_all (fun c -> Atomic.get c = 1) counters
+          && results = Array.init n (fun i -> i * 3)))
+
+let qcheck_pool_matches_list_map =
+  QCheck2.Test.make ~name:"Pool.map_list = List.map" ~count:30
+    QCheck2.Gen.(pair (int_range 1 4) (list_size (int_range 0 60) small_int))
+    (fun (jobs, l) ->
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map_list pool ~f:(fun x -> (2 * x) - 1) l
+          = List.map (fun x -> (2 * x) - 1) l))
+
+let qcheck_pool_exception_cleanup =
+  QCheck2.Test.make ~name:"failed Pool.map leaves the pool serviceable" ~count:20
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 1 50))
+    (fun (jobs, n) ->
+      Pool.with_pool ~jobs (fun pool ->
+          let raised =
+            try
+              ignore
+                (Pool.map_array pool
+                   ~f:(fun i -> if i mod 3 = 0 then failwith "task" else i)
+                   (Array.init n Fun.id));
+              false
+            with Failure msg -> msg = "task"
+          in
+          raised
+          && Pool.map_list pool ~f:succ (List.init n Fun.id)
+             = List.init n (fun i -> i + 1)))
+
 let () =
   Alcotest.run "rb_util"
     [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_pool_map_matches_sequential;
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_pool_jobs_one_inline;
+          Alcotest.test_case "lowest-index error wins" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "usable after a failed map" `Quick
+            test_pool_usable_after_error;
+          Alcotest.test_case "nested map runs inline" `Quick test_pool_nested_map;
+          Alcotest.test_case "shutdown rejects further maps" `Quick
+            test_pool_shutdown_rejects;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "render" `Quick test_json_render;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+          Alcotest.test_case "string escaping" `Quick test_json_escaping;
+        ] );
       ( "rng",
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
@@ -254,5 +412,7 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_choose_symmetry; qcheck_k_subsets_count; qcheck_rng_int_bounds; qcheck_shuffle_multiset ] );
+          [ qcheck_choose_symmetry; qcheck_k_subsets_count; qcheck_rng_int_bounds;
+            qcheck_shuffle_multiset; qcheck_pool_exactly_once;
+            qcheck_pool_matches_list_map; qcheck_pool_exception_cleanup ] );
     ]
