@@ -1,0 +1,87 @@
+(* Perf-regression gate over two BENCH.json files (as written by
+   main.exe --metrics). Thin CLI over Rb_util.Bench_diff: counters are
+   compared exactly by default (they are deterministic work counts —
+   any drift means behaviour changed), wall-clock one-sided with a
+   relative tolerance.
+
+   Usage:
+     compare.exe [--wall-tol FRAC] [--counter-tol FRAC] BASELINE CURRENT
+
+   Exit status: 0 = within tolerances, 1 = regression(s), 2 = bad
+   usage or malformed input. *)
+
+module Bench_diff = Rb_util.Bench_diff
+
+let usage () =
+  Printf.eprintf
+    "usage: compare.exe [--wall-tol FRAC] [--counter-tol FRAC] BASELINE CURRENT\n\
+     FRAC is a relative fraction: --wall-tol 0.5 allows +50%% wall-clock.\n\
+     Counters are exact (tolerance 0) unless --counter-tol is given.\n"
+
+let parse_frac flag s =
+  match float_of_string_opt s with
+  | Some f when f >= 0.0 && Float.is_finite f -> f
+  | _ ->
+    Printf.eprintf "%s expects a non-negative number, got %S\n" flag s;
+    exit 2
+
+let () =
+  let wall_tol = ref 0.5 in
+  let counter_tol = ref 0.0 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--wall-tol" :: v :: rest ->
+      wall_tol := parse_frac "--wall-tol" v;
+      parse rest
+    | "--counter-tol" :: v :: rest ->
+      counter_tol := parse_frac "--counter-tol" v;
+      parse rest
+    | [ ("--wall-tol" | "--counter-tol") as flag ] ->
+      Printf.eprintf "%s expects a value\n" flag;
+      exit 2
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
+      Printf.eprintf "unknown option %s\n" arg;
+      usage ();
+      exit 2
+    | file :: rest ->
+      files := file :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline, current =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ ->
+      usage ();
+      exit 2
+  in
+  match
+    Bench_diff.compare_files ~wall_tol:!wall_tol ~counter_tol:!counter_tol
+      ~baseline ~current ()
+  with
+  | Error msg ->
+    Printf.eprintf "compare: %s\n" msg;
+    exit 2
+  | Ok report ->
+    List.iter
+      (fun v -> Printf.printf "FAIL %s\n" (Bench_diff.describe v))
+      report.Bench_diff.violations;
+    List.iter
+      (fun a -> Printf.printf "note: only in current run: %s\n" a)
+      report.Bench_diff.additions;
+    if report.Bench_diff.violations = [] then begin
+      Printf.printf
+        "perf gate OK: %d sections, %d counters checked (wall tol +%.0f%%, counter tol %.0f%%)\n"
+        report.Bench_diff.sections_checked report.Bench_diff.counters_checked
+        (100.0 *. !wall_tol) (100.0 *. !counter_tol);
+      exit 0
+    end
+    else begin
+      Printf.printf "perf gate FAILED: %d violation(s)\n"
+        (List.length report.Bench_diff.violations);
+      exit 1
+    end

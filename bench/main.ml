@@ -10,13 +10,24 @@
    per-section wall-clock goes to stderr.
 
    Usage:
-     main.exe [--jobs N] [--sections a,b,...] [--list-sections] [SECTION...]
+     main.exe [--jobs N] [--sections a,b,...] [--list-sections]
+              [--metrics FILE] [SECTION...]
 
      --jobs N        worker domains (default: available cores; 1 = no
                      worker domains, everything runs inline)
      --sections ...  comma-separated subset to run (same as naming
                      sections positionally)
-     --list-sections print the section names and exit *)
+     --list-sections print the section names and exit
+     --metrics FILE  write a machine-readable BENCH.json: one record
+                     per section (name, wall-clock, deterministic
+                     counter deltas) plus the full end-of-run metric
+                     snapshot; bench/compare.exe diffs two such files
+
+   Rb_util.Metrics collection is always on here: per-section
+   wall-clock is reported once, in section order, on stderr after the
+   run (never interleaved into section output), and stdout stays
+   byte-identical across --jobs values because only deterministic
+   counters — never timings — feed anything printed there. *)
 
 module Dfg = Rb_dfg.Dfg
 module Workload = Rb_workload.Benchmark
@@ -38,6 +49,8 @@ module Attack = Rb_sat.Attack
 module Table = Rb_util.Table
 module Rng = Rb_util.Rng
 module Pool = Rb_util.Pool
+module Metrics = Rb_util.Metrics
+module Json = Rb_util.Json
 
 let section name =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') name (String.make 72 '=')
@@ -210,14 +223,19 @@ let sat_attack () =
   let table =
     Table.create ~title:"oracle-guided attack [10] (CDCL solver, from scratch)"
       ~columns:
-        [ "inputs"; "key bits"; "locked minterms"; "iterations"; "Eqn.1 lambda"; "time";
-          "gates" ]
+        [ "inputs"; "key bits"; "locked minterms"; "iterations"; "Eqn.1 lambda";
+          "conflicts"; "gates" ]
   in
+  (* Solver effort is reported as CDCL conflicts, not seconds: conflicts
+     are a deterministic work count (identical for every --jobs value and
+     machine), so this table stays byte-comparable; wall-clock lives in
+     the sat/solve timer of the metrics snapshot. *)
+  let m_conflicts = Metrics.counter ~scope:"sat" "conflicts" in
   let rng = Rng.create 424242 in
   let attack_case ~label ~base ~locked ~epsilon_minterms =
     let n_in = Netlist.n_inputs base in
     let key_bits = Netlist.n_keys locked.Lock.circuit in
-    let t0 = Sys.time () in
+    let c0 = Metrics.counter_value m_conflicts in
     let iterations =
       match Attack.attack_locked ~max_iterations:20_000 locked with
       | Attack.Broken { key; iterations } ->
@@ -225,7 +243,7 @@ let sat_attack () =
         string_of_int iterations
       | Attack.Budget_exceeded { iterations } -> Printf.sprintf ">%d" iterations
     in
-    let dt = Sys.time () -. t0 in
+    let conflicts = Metrics.counter_value m_conflicts - c0 in
     let lambda =
       match epsilon_minterms with
       | None -> "-"
@@ -244,7 +262,7 @@ let sat_attack () =
           (match epsilon_minterms with None -> "~half space" | Some m -> string_of_int m);
           iterations;
           lambda;
-          Printf.sprintf "%.2fs" dt;
+          string_of_int conflicts;
           string_of_int (Netlist.n_gates locked.Lock.circuit);
         ]
   in
@@ -306,9 +324,9 @@ let sat_attack () =
   Printf.printf
     "\nShape check: RLL falls in a handful of DIPs; point functions cost the\n\
      attacker far more queries per locked minterm (and Eqn. 1 tracks the\n\
-     growth); the permutation network's resilience lies in solver time per\n\
-     iteration and gate overhead, not DIP count - why Sec. V-C treats it as a\n\
-     costly top-up, not a primary scheme.\n"
+     growth); the permutation network's resilience lies in solver effort\n\
+     (conflicts) per iteration and gate overhead, not DIP count - why Sec. V-C\n\
+     treats it as a costly top-up, not a primary scheme.\n"
 
 (* ----------------------------------------------------------- methodology *)
 
@@ -391,19 +409,39 @@ let runtime () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  (* Measured estimates are timings, so per the determinism contract
+     they go to stderr (stdout stays byte-identical across --jobs) and
+     into runtime/ gauges, which --metrics captures in BENCH.json. *)
+  Printf.printf
+    "  measured ns/run estimates print to stderr; --metrics records them\n\
+    \  as runtime/ gauges in the snapshot\n";
   List.iter
     (fun test ->
-      let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      (* The quota decides how many times each thunk runs, so any work
+         counters it would bump are timing-derived, not deterministic:
+         suspend collection during measurement. *)
       let results =
+        Metrics.set_enabled false;
+        Fun.protect ~finally:(fun () -> Metrics.set_enabled true) @@ fun () ->
+        let raw =
+          Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ])
+        in
         Analyze.all
           (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
           instance raw
       in
       Hashtbl.iter
         (fun name ols ->
+          let name =
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
           match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> Printf.printf "  %-42s %12.1f ns/run\n" name est
-          | Some [] | None -> Printf.printf "  %-42s (no estimate)\n" name)
+          | Some (est :: _) ->
+            Metrics.set_gauge (Metrics.gauge ~scope:"runtime" (name ^ " ns-per-run")) est;
+            Printf.eprintf "  %-42s %12.1f ns/run\n" name est
+          | Some [] | None -> Printf.eprintf "  %-42s (no estimate)\n" name)
         results)
     tests
 
@@ -415,9 +453,42 @@ let section_order =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--jobs N] [--sections a,b,...] [--list-sections] [SECTION...]\n\
+    "usage: main.exe [--jobs N] [--sections a,b,...] [--list-sections]\n\
+    \       [--metrics FILE] [SECTION...]\n\
      available sections: %s\n"
     (String.concat " " section_order)
+
+(* One BENCH.json per run: the config that produced it, a record per
+   section in run order, and the final whole-process snapshot. Only
+   the "sections" records feed the regression gate; "totals" is for
+   humans and dashboards. *)
+let bench_json ~jobs ~records =
+  Json.Obj
+    [
+      ("schema", Json.String "rb-bench/1");
+      ( "config",
+        Json.Obj
+          [
+            ("jobs", Json.Int jobs);
+            ( "sections",
+              Json.List (List.map (fun (name, _, _) -> Json.String name) records) );
+          ] );
+      ( "sections",
+        Json.List
+          (List.map
+             (fun (name, wall, deltas) ->
+               Json.Obj
+                 [
+                   ("section", Json.String name);
+                   ("wall_s", Json.Float wall);
+                   ("counters", Metrics.counters_to_json deltas);
+                 ])
+             records) );
+      ("totals", Metrics.to_json (Metrics.snapshot ()));
+    ]
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
 
 let parse_pos_int flag s =
   match int_of_string_opt s with
@@ -432,6 +503,7 @@ let () =
   let jobs = ref (Pool.default_jobs ()) in
   let requested = ref [] in
   let list_only = ref false in
+  let metrics_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--list-sections" :: rest ->
@@ -449,6 +521,12 @@ let () =
     | [ "--sections" ] ->
       Printf.eprintf "--sections expects a value\n";
       exit 2
+    | "--metrics" :: path :: rest ->
+      metrics_out := Some path;
+      parse rest
+    | [ "--metrics" ] ->
+      Printf.eprintf "--metrics expects a file name\n";
+      exit 2
     | ("--help" | "-h") :: _ ->
       usage ();
       exit 0
@@ -457,6 +535,9 @@ let () =
       parse rest
     | arg :: rest when String.length arg > 11 && String.sub arg 0 11 = "--sections=" ->
       requested := !requested @ split_sections (String.sub arg 11 (String.length arg - 11));
+      parse rest
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
+      metrics_out := Some (String.sub arg 10 (String.length arg - 10));
       parse rest
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
       Printf.eprintf "unknown option %s\n" arg;
@@ -472,6 +553,7 @@ let () =
     exit 0
   end;
   Rb_core.Binders.ensure_registered ();
+  Metrics.set_enabled true;
   Pool.with_pool ~jobs:!jobs (fun pool ->
       let sections =
         experiment_sections pool
@@ -495,10 +577,27 @@ let () =
         | [] -> List.map lookup section_order
         | names -> List.map lookup names
       in
+      let records =
+        List.map
+          (fun (name, f) ->
+            let before = Metrics.snapshot () in
+            let t0 = Metrics.now_s () in
+            Metrics.with_span name f;
+            let wall = Metrics.now_s () -. t0 in
+            let after = Metrics.snapshot () in
+            (name, wall, Metrics.counter_deltas ~before ~after))
+          to_run
+      in
+      (* One timing block, in section order, after all sections — the
+         per-section lines used to interleave with section stderr under
+         --jobs N. *)
       List.iter
-        (fun (name, f) ->
-          let t0 = Unix.gettimeofday () in
-          f ();
-          Printf.eprintf "[%s: %.2fs, jobs=%d]\n%!" name
-            (Unix.gettimeofday () -. t0) (Pool.jobs pool))
-        to_run)
+        (fun (name, wall, _) ->
+          Printf.eprintf "[%s: %.2fs, jobs=%d]\n" name wall (Pool.jobs pool))
+        records;
+      flush stderr;
+      match !metrics_out with
+      | None -> ()
+      | Some path ->
+        write_file path (Json.to_string (bench_json ~jobs:!jobs ~records) ^ "\n");
+        Printf.eprintf "[metrics written to %s]\n%!" path)

@@ -21,10 +21,28 @@ end
 let registry : (string, (module S)) Hashtbl.t = Hashtbl.create 8
 let registry_mutex = Mutex.create ()
 
+module Metrics = Rb_util.Metrics
+
+(* Every binder resolved through the registry reports under the
+   "binder" scope: a deterministic invocation counter and a segregated
+   wall-clock timer per registered name. Wrapping at registration time
+   means callers of [require]/[bind] need no further plumbing. *)
+let instrument (module B : S) : (module S) =
+  let calls = Metrics.counter ~scope:"binder" (B.name ^ "_binds") in
+  let wall = Metrics.timer ~scope:"binder" (B.name ^ "_bind") in
+  (module struct
+    let name = B.name
+    let description = B.description
+
+    let bind input =
+      Metrics.incr calls;
+      Metrics.time wall (fun () -> B.bind input)
+  end)
+
 let register (module B : S) =
   Mutex.lock registry_mutex;
   let duplicate = Hashtbl.mem registry B.name in
-  if not duplicate then Hashtbl.replace registry B.name (module B : S);
+  if not duplicate then Hashtbl.replace registry B.name (instrument (module B : S));
   Mutex.unlock registry_mutex;
   if duplicate then
     invalid_arg (Printf.sprintf "Binder.register: duplicate binder %S" B.name)

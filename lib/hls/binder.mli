@@ -40,7 +40,11 @@ end
 
 val register : (module S) -> unit
 (** Add a binder to the registry. Raises [Invalid_argument] on a
-    duplicate name. *)
+    duplicate name. The stored module is wrapped with
+    [Rb_util.Metrics] instrumentation: each [bind] through the
+    registry bumps the deterministic counter
+    ["binder/<name>_binds"] and records wall-clock in the timer
+    ["binder/<name>_bind"]. *)
 
 val find : string -> (module S) option
 

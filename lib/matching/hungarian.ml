@@ -4,6 +4,17 @@
    [way.(j)] remembers the alternating path used to augment. Each of
    the [n] phases grows the matching by one row in O(n*m). *)
 
+(* Metrics: every binding algorithm bottoms out here, so assignment
+   counts, augmenting-path phases and inner relaxation scans are the
+   work units that explain binder runtime. Accumulated locally and
+   flushed once per call to keep the O(n*m) core branch-free. *)
+module Metrics = Rb_util.Metrics
+
+let m_assignments = Metrics.counter ~scope:"matching" "assignments"
+let m_phases = Metrics.counter ~scope:"matching" "augmenting_phases"
+let m_scans = Metrics.counter ~scope:"matching" "relaxation_scans"
+let t_assignment = Metrics.timer ~scope:"matching" "assignment"
+
 let validate cost =
   let rows = Array.length cost in
   if rows = 0 then invalid_arg "Hungarian: empty matrix";
@@ -18,6 +29,9 @@ let validate cost =
 
 let min_cost_assignment cost =
   let rows, cols = validate cost in
+  Metrics.incr m_assignments;
+  Metrics.time t_assignment @@ fun () ->
+  let scans = ref 0 in
   let n = rows and m = cols in
   let u = Array.make (n + 1) 0.0 in
   let v = Array.make (m + 1) 0.0 in
@@ -30,6 +44,7 @@ let min_cost_assignment cost =
     let used = Array.make (m + 1) false in
     let continue = ref true in
     while !continue do
+      incr scans;
       used.(!j0) <- true;
       let i0 = p.(!j0) in
       let delta = ref infinity in
@@ -65,6 +80,8 @@ let min_cost_assignment cost =
       j0 := j1
     done
   done;
+  Metrics.add m_phases n;
+  Metrics.add m_scans !scans;
   let assign = Array.make n (-1) in
   for j = 1 to m do
     if p.(j) > 0 then assign.(p.(j) - 1) <- j - 1

@@ -1,6 +1,16 @@
 module Netlist = Rb_netlist.Netlist
 module Lock = Rb_netlist.Lock
 module Rng = Rb_util.Rng
+module Metrics = Rb_util.Metrics
+
+(* Deterministic attack counters: one [dip_queries] per attack
+   iteration (the paper's security unit — what Eqn. 1 predicts), one
+   [oracle_queries] per oracle evaluation (DIP replays plus the
+   approximate attacker's random probes). *)
+let m_runs = Metrics.counter ~scope:"attack" "runs"
+let m_dip_queries = Metrics.counter ~scope:"attack" "dip_queries"
+let m_oracle_queries = Metrics.counter ~scope:"attack" "oracle_queries"
+let m_key_extractions = Metrics.counter ~scope:"attack" "key_extractions"
 
 type outcome =
   | Broken of { key : bool array; iterations : int }
@@ -50,6 +60,7 @@ let add_io_pair m inputs response =
    solver. The correct key satisfies all pairs, so this never fails for
    a well-formed oracle. *)
 let extract_key m =
+  Metrics.incr m_key_extractions;
   let key_solver = Solver.create () in
   let model = Tseitin.encode key_solver m.locked in
   List.iter
@@ -65,6 +76,7 @@ let extract_key m =
   | Unsat -> assert false
 
 let run ?(max_iterations = 100_000) ~oracle ~locked () =
+  Metrics.incr m_runs;
   let m = new_miter locked in
   let n_in = Netlist.n_inputs locked in
   let rec attack_loop iterations =
@@ -76,6 +88,8 @@ let run ?(max_iterations = 100_000) ~oracle ~locked () =
         let dip =
           Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))
         in
+        Metrics.incr m_dip_queries;
+        Metrics.incr m_oracle_queries;
         add_io_pair m dip (oracle dip);
         attack_loop (iterations + 1)
   in
@@ -129,6 +143,7 @@ let approximate ?(dip_budget = 30) ?(queries_per_round = 16) ?(estimate_samples 
   (* AppSAT-style: interleave DIP refinement with random oracle
      queries, which prune approximately-wrong keys that exact DIPs
      would take exponentially long to reach. *)
+  Metrics.incr m_runs;
   let rec loop iterations =
     if iterations >= dip_budget then (iterations, false)
     else
@@ -138,10 +153,13 @@ let approximate ?(dip_budget = 30) ?(queries_per_round = 16) ?(estimate_samples 
         let dip =
           Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))
         in
+        Metrics.incr m_dip_queries;
+        Metrics.incr m_oracle_queries;
         add_io_pair m dip (oracle dip);
         if (iterations + 1) mod 5 = 0 then
           for _ = 1 to queries_per_round do
             incr queries;
+            Metrics.incr m_oracle_queries;
             let inputs = random_inputs () in
             add_io_pair m inputs (oracle inputs)
           done;

@@ -340,8 +340,40 @@ let pick_branch_var s =
 
 exception Result of result
 
+(* Metrics: per-solve deltas of the internal statistics, flushed once
+   per solve call so the CDCL inner loops stay free of sink checks. *)
+module Metrics = Rb_util.Metrics
+
+let m_solves = Metrics.counter ~scope:"sat" "solves"
+let m_sat = Metrics.counter ~scope:"sat" "sat_results"
+let m_unsat = Metrics.counter ~scope:"sat" "unsat_results"
+let m_decisions = Metrics.counter ~scope:"sat" "decisions"
+let m_conflicts = Metrics.counter ~scope:"sat" "conflicts"
+let m_propagations = Metrics.counter ~scope:"sat" "propagations"
+let m_restarts = Metrics.counter ~scope:"sat" "restarts"
+let m_learned = Metrics.counter ~scope:"sat" "learned_clauses"
+let t_solve = Metrics.timer ~scope:"sat" "solve"
+
+let flush_metrics s ~from result =
+  let d0, c0, p0, r0, l0 = from in
+  Metrics.incr m_solves;
+  Metrics.incr (match result with Sat -> m_sat | Unsat -> m_unsat);
+  Metrics.add m_decisions (s.s_decisions - d0);
+  Metrics.add m_conflicts (s.s_conflicts - c0);
+  Metrics.add m_propagations (s.s_propagations - p0);
+  Metrics.add m_restarts (s.s_restarts - r0);
+  Metrics.add m_learned (s.s_learned - l0)
+
 let solve ?(assumptions = []) s =
-  if s.root_unsat then Unsat
+  let from =
+    (s.s_decisions, s.s_conflicts, s.s_propagations, s.s_restarts, s.s_learned)
+  in
+  let finish result =
+    flush_metrics s ~from result;
+    result
+  in
+  Metrics.time t_solve @@ fun () ->
+  if s.root_unsat then finish Unsat
   else begin
     List.iter
       (fun lit ->
@@ -414,8 +446,8 @@ let solve ?(assumptions = []) s =
         if s.values.(v) >= 0 then s.phase.(v) <- s.values.(v) = 1
       done;
       backtrack s 0;
-      Sat
-    | Some Unsat -> Unsat
+      finish Sat
+    | Some Unsat -> finish Unsat
     | None -> assert false
   end
 

@@ -12,7 +12,13 @@
     clauses, hundreds of thousands of conflicts).
 
     Literals follow the DIMACS convention: variables are positive
-    integers and a negative integer denotes negation. *)
+    integers and a negative integer denotes negation.
+
+    When [Rb_util.Metrics] collection is enabled, every [solve] call
+    flushes its {!stats} deltas into the deterministic ["sat"]-scope
+    counters ([solves], [sat_results], [unsat_results], [decisions],
+    [conflicts], [propagations], [restarts], [learned_clauses]) and
+    records wall-clock in the ["sat/solve"] timer. *)
 
 type t
 

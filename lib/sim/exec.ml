@@ -5,6 +5,17 @@ module Config = Rb_locking.Config
 
 type op_eval = { a : int; b : int; result : int }
 
+(* The simulator is the innermost hot loop of every experiment, so the
+   counters count whole evaluations and flush op totals once per call
+   rather than bumping inside the per-op loop. *)
+module Metrics = Rb_util.Metrics
+
+let m_clean_evals = Metrics.counter ~scope:"sim" "clean_evals"
+let m_locked_evals = Metrics.counter ~scope:"sim" "locked_evals"
+let m_op_evals = Metrics.counter ~scope:"sim" "op_evals"
+let m_injections = Metrics.counter ~scope:"sim" "injections"
+let m_error_reports = Metrics.counter ~scope:"sim" "error_reports"
+
 let operand_value trace ~sample results = function
   | Dfg.Input name -> Trace.input_value trace ~sample ~input:name
   | Dfg.Const c -> c
@@ -20,6 +31,8 @@ let eval_clean trace ~sample =
     let b = operand_value trace ~sample results o.rhs in
     results.(id) <- { a; b; result = Dfg.eval_kind o.kind a b }
   done;
+  Metrics.incr m_clean_evals;
+  Metrics.add m_op_evals n;
   results
 
 let eval_locked trace ~sample ~fu_of_op ~config =
@@ -43,6 +56,9 @@ let eval_locked trace ~sample ~fu_of_op ~config =
     in
     results.(id) <- { a; b; result }
   done;
+  Metrics.incr m_locked_evals;
+  Metrics.add m_op_evals n;
+  Metrics.add m_injections !injections;
   (results, !injections)
 
 type error_report = {
@@ -109,6 +125,7 @@ let application_errors schedule trace ~fu_of_op ~config =
         else burst := 0)
       cycle_hit
   done;
+  Metrics.incr m_error_reports;
   {
     samples = n_samples;
     error_events = !error_events;

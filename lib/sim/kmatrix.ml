@@ -6,7 +6,16 @@ type t = {
   per_op : (Minterm.t, int) Hashtbl.t array; (* op id -> minterm counts *)
 }
 
+module Metrics = Rb_util.Metrics
+
+let m_builds = Metrics.counter ~scope:"sim" "kmatrix_builds"
+let m_samples = Metrics.counter ~scope:"sim" "kmatrix_samples"
+let t_build = Metrics.timer ~scope:"sim" "kmatrix_build"
+
 let build trace =
+  Metrics.incr m_builds;
+  Metrics.add m_samples (Trace.length trace);
+  Metrics.time t_build @@ fun () ->
   let dfg = Trace.dfg trace in
   let n = Dfg.op_count dfg in
   let per_op = Array.init n (fun _ -> Hashtbl.create 32) in

@@ -1,0 +1,153 @@
+type kind = Missing_section | Missing_counter | Counter_drift | Wall_regression
+
+type violation = {
+  section : string;
+  metric : string;
+  kind : kind;
+  baseline : float;
+  current : float;
+}
+
+type report = {
+  violations : violation list;
+  sections_checked : int;
+  counters_checked : int;
+  additions : string list;
+}
+
+let describe v =
+  match v.kind with
+  | Missing_section -> Printf.sprintf "%s: section missing from current run" v.section
+  | Missing_counter ->
+    Printf.sprintf "%s: counter %s missing from current run (baseline %.0f)"
+      v.section v.metric v.baseline
+  | Counter_drift ->
+    Printf.sprintf "%s: counter %s drifted %.0f -> %.0f" v.section v.metric
+      v.baseline v.current
+  | Wall_regression ->
+    Printf.sprintf "%s: wall-clock regressed %.3fs -> %.3fs" v.section v.baseline
+      v.current
+
+(* --------------------------------------------------- document decoding *)
+
+type section = {
+  name : string;
+  wall_s : float;
+  counters : (string * float) list;
+}
+
+exception Shape of string
+
+let shape fmt = Printf.ksprintf (fun msg -> raise (Shape msg)) fmt
+
+let number ~what = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> shape "%s: expected a number" what
+
+let field ~what name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> shape "%s: missing field %S" what name
+
+let decode_section j =
+  let name =
+    match field ~what:"section" "section" j with
+    | Json.String s -> s
+    | _ -> shape "section: name is not a string"
+  in
+  let what = "section " ^ name in
+  let wall_s = number ~what:(what ^ " wall_s") (field ~what "wall_s" j) in
+  let counters =
+    match field ~what "counters" j with
+    | Json.Obj fields ->
+      List.map (fun (k, v) -> (k, number ~what:(what ^ " counter " ^ k) v)) fields
+    | _ -> shape "%s: counters is not an object" what
+  in
+  { name; wall_s; counters }
+
+let decode_doc ~label j =
+  (match Json.member "schema" j with
+  | Some (Json.String "rb-bench/1") -> ()
+  | Some (Json.String other) -> shape "%s: unsupported schema %S" label other
+  | _ -> shape "%s: not a BENCH.json document (no \"schema\")" label);
+  match field ~what:label "sections" j with
+  | Json.List sections -> List.map decode_section sections
+  | _ -> shape "%s: sections is not a list" label
+
+(* ------------------------------------------------------------- compare *)
+
+let within_rel ~tol ~baseline ~current =
+  if baseline = current then true
+  else begin
+    let scale = Float.max (Float.abs baseline) 1e-9 in
+    Float.abs (current -. baseline) <= (tol *. scale) +. 1e-12
+  end
+
+let compare_docs ?(wall_tol = 0.5) ?(counter_tol = 0.0) ~baseline ~current () =
+  if wall_tol < 0.0 || counter_tol < 0.0 then
+    invalid_arg "Bench_diff.compare_docs: negative tolerance";
+  match
+    let base = decode_doc ~label:"baseline" baseline in
+    let cur = decode_doc ~label:"current" current in
+    (base, cur)
+  with
+  | exception Shape msg -> Error msg
+  | base, cur ->
+    let violations = ref [] in
+    let additions = ref [] in
+    let counters_checked = ref 0 in
+    let flag section metric kind baseline current =
+      violations := { section; metric; kind; baseline; current } :: !violations
+    in
+    List.iter
+      (fun b ->
+        match List.find_opt (fun c -> c.name = b.name) cur with
+        | None -> flag b.name "" Missing_section 0.0 0.0
+        | Some c ->
+          if c.wall_s > b.wall_s *. (1.0 +. wall_tol) then
+            flag b.name "wall_s" Wall_regression b.wall_s c.wall_s;
+          List.iter
+            (fun (key, bv) ->
+              incr counters_checked;
+              match List.assoc_opt key c.counters with
+              | None -> flag b.name key Missing_counter bv 0.0
+              | Some cv ->
+                if not (within_rel ~tol:counter_tol ~baseline:bv ~current:cv) then
+                  flag b.name key Counter_drift bv cv)
+            b.counters;
+          List.iter
+            (fun (key, _) ->
+              if not (List.mem_assoc key b.counters) then
+                additions := Printf.sprintf "%s/%s" c.name key :: !additions)
+            c.counters)
+      base;
+    List.iter
+      (fun c ->
+        if not (List.exists (fun b -> b.name = c.name) base) then
+          additions := c.name :: !additions)
+      cur;
+    Ok
+      {
+        violations = List.rev !violations;
+        sections_checked = List.length base;
+        counters_checked = !counters_checked;
+        additions = List.rev !additions;
+      }
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
+
+let compare_files ?wall_tol ?counter_tol ~baseline ~current () =
+  let ( let* ) = Result.bind in
+  let load label path =
+    let* contents =
+      Result.map_error (Printf.sprintf "%s: %s" label) (read_file path)
+    in
+    Result.map_error (Printf.sprintf "%s (%s): %s" label path) (Json.of_string contents)
+  in
+  let* baseline = load "baseline" baseline in
+  let* current = load "current" current in
+  compare_docs ?wall_tol ?counter_tol ~baseline ~current ()

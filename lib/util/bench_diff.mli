@@ -1,0 +1,69 @@
+(** Compare two machine-readable bench reports ([BENCH.json], as
+    emitted by [bench/main.exe --metrics]) against per-metric
+    tolerances — the logic behind [bench/compare.exe] and the CI
+    perf-regression gate.
+
+    The deterministic/timing split of {!Metrics} drives the policy:
+
+    - {b counters are exact by default} ([counter_tol = 0.0]) — they
+      count logical work, so any drift means behaviour changed, in
+      either direction;
+    - {b wall-clock is tolerance-banded and one-sided} — only
+      [current > baseline * (1 + wall_tol)] is a regression; getting
+      faster never fails the gate.
+
+    Sections and counters present only in [current] are reported as
+    informational additions, never failures, so adding
+    instrumentation does not require lock-step baseline updates;
+    anything in [baseline] but missing from [current] is a failure
+    (silent coverage shrink is exactly what the gate exists to
+    catch). *)
+
+type kind =
+  | Missing_section  (** baseline section absent from current *)
+  | Missing_counter  (** baseline counter absent from the section *)
+  | Counter_drift  (** counter outside [counter_tol], either direction *)
+  | Wall_regression  (** wall-clock above [baseline * (1 + wall_tol)] *)
+
+type violation = {
+  section : string;
+  metric : string;  (** [""] for section-level violations *)
+  kind : kind;
+  baseline : float;
+  current : float;
+}
+
+type report = {
+  violations : violation list;  (** document order *)
+  sections_checked : int;
+  counters_checked : int;
+  additions : string list;
+      (** sections/counters only in [current]; informational *)
+}
+
+val describe : violation -> string
+(** One human-readable line, e.g.
+    ["fig6: counter matching/phases drifted 120 -> 140 (tolerance 0%)"]. *)
+
+val compare_docs :
+  ?wall_tol:float ->
+  ?counter_tol:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (report, string) result
+(** [wall_tol] and [counter_tol] are relative fractions (e.g. [0.5] =
+    +50%); defaults [wall_tol = 0.5], [counter_tol = 0.0]. [Error]
+    means one of the documents does not have the [rb-bench/1] shape
+    (that is a malformed input, not a regression — callers should
+    exit with a distinct status). *)
+
+val compare_files :
+  ?wall_tol:float ->
+  ?counter_tol:float ->
+  baseline:string ->
+  current:string ->
+  unit ->
+  (report, string) result
+(** {!compare_docs} over two files; file read and JSON parse errors
+    surface as [Error]. *)

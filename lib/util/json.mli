@@ -1,10 +1,12 @@
-(** A minimal JSON document builder.
+(** A minimal JSON document builder and reader.
 
-    One schema module shared by every machine-readable reporter in the
+    One schema module shared by every machine-readable surface in the
     repo ([Rb_lint]'s lint reports, [bindlock]'s [--format json]
-    output), so escaping and number formatting stay consistent. Build
-    a {!t} and render it with {!to_string}; there is deliberately no
-    parser — the tools only emit. *)
+    output, the bench harness's [BENCH.json] metrics records), so
+    escaping and number formatting stay consistent. Build a {!t} and
+    render it with {!to_string}; read one back with {!of_string} —
+    added for the bench comparator, which must consume what the
+    harness emits. *)
 
 type t =
   | Null
@@ -28,3 +30,16 @@ val to_string : t -> string
 (** Render compactly (no whitespace). Integers print as integers;
     finite floats with up to six significant digits; non-finite floats
     as [null] — use {!float_or_string} where they are meaningful. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. Covers everything {!to_string}
+    emits plus ordinary interchange JSON: whitespace, all escape
+    forms ([\uXXXX] including surrogate pairs, decoded to UTF-8),
+    exponent floats. Numbers parse as [Int] when they are written in
+    integer syntax and fit in [int], as [Float] otherwise. Duplicate
+    object fields are kept in document order. [Error msg] carries a
+    byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj] (first match); [None] on other variants. *)
+

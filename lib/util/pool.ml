@@ -11,6 +11,15 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Deterministic counters: elements are counted per map call whatever
+   executes them, so totals match across worker counts. Queue-wait and
+   busy time are wall-clock and live on the timing side of the
+   Metrics contract. *)
+let m_maps = Metrics.counter ~scope:"pool" "maps"
+let m_tasks = Metrics.counter ~scope:"pool" "tasks"
+let t_queue_wait = Metrics.timer ~scope:"pool" "queue_wait"
+let t_task_busy = Metrics.timer ~scope:"pool" "task_busy"
+
 (* Workers flag their domain so a map issued from inside a task falls
    back to inline execution instead of blocking on its own pool. *)
 let inside_worker = Domain.DLS.new_key (fun () -> false)
@@ -75,20 +84,29 @@ let check_open t =
 let map_array t ~f arr =
   let n = Array.length arr in
   check_open t;
+  Metrics.incr m_maps;
+  Metrics.add m_tasks n;
   if t.jobs <= 1 || Domain.DLS.get inside_worker || n <= 1 then Array.map f arr
   else begin
+    let timed = Metrics.enabled () in
     let results = Array.make n None in
     let errors = Array.make n None in
     let remaining = ref n in
     let mutex = Mutex.create () in
     let finished = Condition.create () in
     for i = 0 to n - 1 do
+      let submitted = if timed then Metrics.now_s () else 0.0 in
       submit t (fun () ->
+          let started = if timed then Metrics.now_s () else 0.0 in
           let outcome =
             match f arr.(i) with
             | v -> Ok v
             | exception e -> Error (e, Printexc.get_raw_backtrace ())
           in
+          if timed then begin
+            Metrics.observe t_queue_wait (started -. submitted);
+            Metrics.observe t_task_busy (Metrics.now_s () -. started)
+          end;
           Mutex.lock mutex;
           (match outcome with
           | Ok v -> results.(i) <- Some v

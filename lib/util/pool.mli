@@ -12,7 +12,14 @@
     pool itself only synchronizes the work queue and result slots.
 
     A map call issued from inside a pool task runs sequentially in that
-    task (nested fan-out never deadlocks the fixed worker set). *)
+    task (nested fan-out never deadlocks the fixed worker set).
+
+    When {!Metrics} collection is enabled, the pool reports under the
+    ["pool"] scope: counters [maps] and [tasks] count map calls and
+    elements mapped (elements are counted whether they run inline or on
+    a worker, so the totals are identical for every worker count), and
+    timers [queue_wait] / [task_busy] record per-task submission-to-start
+    latency and execution time for tasks that ran on a worker. *)
 
 type t
 

@@ -637,34 +637,50 @@ let test_codesign_binder_chooses_config () =
 module Pool = Rb_util.Pool
 module Render = Rb_core.Render
 
+module Metrics = Rb_util.Metrics
+
 (* The PR-level guard: fanning a sweep suite over a 4-worker pool must
-   render byte-identical tables to the single-job run. Small budgets
-   keep it fast while still exercising the sampled branch and the
-   chunked exhaustive branch. *)
+   render byte-identical tables to the single-job run, and the
+   deterministic metrics counters (logical-work counts, not timings)
+   must agree too — this is what lets CI's perf gate compare counters
+   exactly regardless of --jobs. Small budgets keep it fast while
+   still exercising the sampled branch and the chunked exhaustive
+   branch. *)
 let test_parallel_determinism () =
   let run jobs =
-    Pool.with_pool ~jobs (fun pool ->
-        let ctxs = [ small_context () ] in
-        let suite =
-          Experiments.sweep_suite ~pool ~max_combos_per_config:40
-            ~max_optimal_assignments:2_000 ctxs
-        in
-        let fig4 =
-          Render.fig4
-            ~rows:(Experiments.fig4_rows suite)
-            ~concentrations:(Experiments.concentrations ctxs)
-        in
-        let fig5 =
-          Render.fig5
-            ~cells:(Experiments.fig5_cells (Experiments.pooled_results suite))
-            ~reduced:(Experiments.reduced_optimal_runs suite)
-        in
-        (fig4, fig5))
+    Metrics.reset ();
+    Metrics.set_enabled true;
+    Fun.protect ~finally:(fun () -> Metrics.set_enabled false)
+    @@ fun () ->
+    let before = Metrics.snapshot () in
+    let figs =
+      Pool.with_pool ~jobs (fun pool ->
+          let ctxs = [ small_context () ] in
+          let suite =
+            Experiments.sweep_suite ~pool ~max_combos_per_config:40
+              ~max_optimal_assignments:2_000 ctxs
+          in
+          let fig4 =
+            Render.fig4
+              ~rows:(Experiments.fig4_rows suite)
+              ~concentrations:(Experiments.concentrations ctxs)
+          in
+          let fig5 =
+            Render.fig5
+              ~cells:(Experiments.fig5_cells (Experiments.pooled_results suite))
+              ~reduced:(Experiments.reduced_optimal_runs suite)
+          in
+          (fig4, fig5))
+    in
+    (figs, Metrics.counter_deltas ~before ~after:(Metrics.snapshot ()))
   in
-  let f4_seq, f5_seq = run 1 in
-  let f4_par, f5_par = run 4 in
+  let (f4_seq, f5_seq), counters_seq = run 1 in
+  let (f4_par, f5_par), counters_par = run 4 in
   Alcotest.(check string) "fig4 byte-identical" f4_seq f4_par;
-  Alcotest.(check string) "fig5 byte-identical" f5_seq f5_par
+  Alcotest.(check string) "fig5 byte-identical" f5_seq f5_par;
+  Alcotest.(check bool) "sweep moved some counters" true (counters_seq <> []);
+  Alcotest.(check (list (pair string int)))
+    "metrics counters jobs-invariant" counters_seq counters_par
 
 let () =
   Alcotest.run "rb_core"

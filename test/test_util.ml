@@ -4,6 +4,8 @@ module Stats = Rb_util.Stats
 module Table = Rb_util.Table
 module Pool = Rb_util.Pool
 module Json = Rb_util.Json
+module Metrics = Rb_util.Metrics
+module Bench_diff = Rb_util.Bench_diff
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -281,6 +283,263 @@ let test_json_escaping () =
     "\"x\\ry\""
     (Json.to_string (Json.String "x\ry"))
 
+(* -------------------------------------------------------------- Metrics *)
+
+(* Metrics state is process-global; each test runs against a freshly
+   reset registry with the sink enabled, and restores the default
+   (disabled) sink so the rest of the suite pays nothing. *)
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+let counters_of prefix snap =
+  List.filter (fun (k, _) -> String.starts_with ~prefix k) snap.Metrics.counters
+
+let test_metrics_counter_basics () =
+  with_metrics (fun () ->
+      let c = Metrics.counter ~scope:"tm1" "events" in
+      Metrics.incr c;
+      Metrics.add c 41;
+      Alcotest.(check int) "handle reads back" 42 (Metrics.counter_value c);
+      Alcotest.(check int) "same key, same metric" 42
+        (Metrics.counter_value (Metrics.counter ~scope:"tm1" "events"));
+      Alcotest.(check (list (pair string int)))
+        "snapshot row" [ ("tm1/events", 42) ]
+        (counters_of "tm1/" (Metrics.snapshot ())))
+
+let test_metrics_scope_isolation () =
+  with_metrics (fun () ->
+      let a = Metrics.counter ~scope:"tm2a" "hits" in
+      let b = Metrics.counter ~scope:"tm2b" "hits" in
+      Metrics.add a 3;
+      Metrics.add b 7;
+      Alcotest.(check int) "scope a untouched by b" 3 (Metrics.counter_value a);
+      Alcotest.(check int) "scope b untouched by a" 7 (Metrics.counter_value b))
+
+let test_metrics_kind_clash () =
+  with_metrics (fun () ->
+      ignore (Metrics.counter ~scope:"tm3" "x");
+      Alcotest.(check bool) "gauge under a counter key rejected" true
+        (match Metrics.gauge ~scope:"tm3" "x" with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let test_metrics_disabled_sink_free () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let c = Metrics.counter ~scope:"tm4" "events" in
+  let t = Metrics.timer ~scope:"tm4" "wall" in
+  Metrics.incr c;
+  Metrics.add c 100;
+  Metrics.observe t 1.0;
+  let ran = ref false in
+  ignore (Metrics.time t (fun () -> ran := true; 5));
+  Metrics.with_span "tm4span" (fun () -> ());
+  Alcotest.(check bool) "thunk still runs when disabled" true !ran;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "snapshot shows zero" [ ("tm4/events", 0) ] (counters_of "tm4/" snap);
+  let dist = List.assoc "tm4/wall" snap.Metrics.timers in
+  Alcotest.(check int) "timer empty" 0 dist.Metrics.count;
+  Alcotest.(check bool) "span never recorded" true
+    (Metrics.span_total snap "tm4span" = None)
+
+let test_metrics_timer_dist () =
+  with_metrics (fun () ->
+      let t = Metrics.timer ~scope:"tm5" "obs" in
+      List.iter (Metrics.observe t) [ 0.25; 1.0; 0.5 ];
+      let snap = Metrics.snapshot () in
+      let d = List.assoc "tm5/obs" snap.Metrics.timers in
+      Alcotest.(check int) "count" 3 d.Metrics.count;
+      check_float "total" 1.75 d.Metrics.total;
+      check_float "min" 0.25 d.Metrics.min;
+      check_float "max" 1.0 d.Metrics.max)
+
+let test_metrics_span_nesting () =
+  with_metrics (fun () ->
+      Metrics.with_span "outer" (fun () ->
+          Metrics.with_span "inner" (fun () -> ());
+          Metrics.with_span "inner" (fun () -> ()));
+      let snap = Metrics.snapshot () in
+      Alcotest.(check bool) "outer recorded" true
+        (Metrics.span_total snap "outer" <> None);
+      let inner = List.assoc "outer/inner" snap.Metrics.spans in
+      Alcotest.(check int) "inner nests under outer, twice" 2 inner.Metrics.count;
+      Alcotest.(check bool) "no top-level inner" true
+        (not (List.mem_assoc "inner" snap.Metrics.spans)))
+
+let test_metrics_counter_deltas () =
+  with_metrics (fun () ->
+      let c = Metrics.counter ~scope:"tm6" "n" in
+      let d = Metrics.counter ~scope:"tm6" "steady" in
+      Metrics.add d 5;
+      let before = Metrics.snapshot () in
+      Metrics.add c 17;
+      let after = Metrics.snapshot () in
+      Alcotest.(check (list (pair string int)))
+        "only moved counters appear" [ ("tm6/n", 17) ]
+        (List.filter
+           (fun (k, _) -> String.starts_with ~prefix:"tm6/" k)
+           (Metrics.counter_deltas ~before ~after)))
+
+(* The PR-level contract: counters count logical work, so fanning the
+   same tasks over 1 or 4 workers must produce identical values. *)
+let test_metrics_jobs_determinism () =
+  let run jobs =
+    with_metrics (fun () ->
+        let c = Metrics.counter ~scope:"tm7" "work" in
+        Pool.with_pool ~jobs (fun pool ->
+            ignore
+              (Pool.map_array pool
+                 ~f:(fun i ->
+                   Metrics.add c (i mod 7);
+                   i)
+                 (Array.init 200 Fun.id)));
+        counters_of "tm7/" (Metrics.snapshot ())
+        @ counters_of "pool/" (Metrics.snapshot ()))
+  in
+  Alcotest.(check (list (pair string int)))
+    "jobs=1 = jobs=4 counters" (run 1) (run 4)
+
+let test_metrics_json_roundtrip () =
+  with_metrics (fun () ->
+      let c = Metrics.counter ~scope:"tm8" "events" in
+      let g = Metrics.gauge ~scope:"tm8" "level" in
+      let t = Metrics.timer ~scope:"tm8" "wall" in
+      Metrics.add c 123;
+      Metrics.set_gauge g 2.5;
+      Metrics.observe t 0.125;
+      Metrics.with_span "tm8span" (fun () -> ());
+      let rendered = Json.to_string (Metrics.to_json (Metrics.snapshot ())) in
+      match Json.of_string rendered with
+      | Error msg -> Alcotest.fail msg
+      | Ok parsed ->
+        Alcotest.(check string) "reparse is stable" rendered (Json.to_string parsed);
+        let counters = Option.get (Json.member "counters" parsed) in
+        Alcotest.(check bool) "counter value survives" true
+          (Json.member "tm8/events" counters = Some (Json.Int 123)))
+
+(* ----------------------------------------------------------- Bench_diff *)
+
+let bench_doc sections =
+  Json.Obj
+    [
+      ("schema", Json.String "rb-bench/1");
+      ( "sections",
+        Json.List
+          (List.map
+             (fun (name, wall, counters) ->
+               Json.Obj
+                 [
+                   ("section", Json.String name);
+                   ("wall_s", Json.Float wall);
+                   ( "counters",
+                     Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters) );
+                 ])
+             sections) );
+    ]
+
+let diff ?wall_tol ?counter_tol a b =
+  match Bench_diff.compare_docs ?wall_tol ?counter_tol ~baseline:a ~current:b () with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+let kinds r = List.map (fun v -> v.Bench_diff.kind) r.Bench_diff.violations
+
+let test_diff_tolerance_pass () =
+  let base = bench_doc [ ("fig6", 1.0, [ ("sat/solves", 10) ]) ] in
+  let cur = bench_doc [ ("fig6", 1.4, [ ("sat/solves", 10) ]) ] in
+  let r = diff ~wall_tol:0.5 base cur in
+  Alcotest.(check int) "no violations" 0 (List.length r.Bench_diff.violations);
+  Alcotest.(check int) "counters checked" 1 r.Bench_diff.counters_checked
+
+let test_diff_wall_regression () =
+  let base = bench_doc [ ("fig6", 1.0, []) ] in
+  let cur = bench_doc [ ("fig6", 1.6, []) ] in
+  Alcotest.(check bool) "above band fails" true
+    (kinds (diff ~wall_tol:0.5 base cur) = [ Bench_diff.Wall_regression ]);
+  Alcotest.(check int) "faster never fails" 0
+    (List.length (diff ~wall_tol:0.0 cur base).Bench_diff.violations)
+
+let test_diff_counter_regression () =
+  let base = bench_doc [ ("fig6", 1.0, [ ("sim/op_evals", 1000) ]) ] in
+  let cur = bench_doc [ ("fig6", 1.0, [ ("sim/op_evals", 1001) ]) ] in
+  Alcotest.(check bool) "exact by default" true
+    (kinds (diff base cur) = [ Bench_diff.Counter_drift ]);
+  Alcotest.(check int) "within explicit tolerance passes" 0
+    (List.length (diff ~counter_tol:0.01 base cur).Bench_diff.violations);
+  (* Drift downward is a behaviour change too. *)
+  Alcotest.(check bool) "downward drift also fails" true
+    (kinds (diff cur base) = [ Bench_diff.Counter_drift ])
+
+let test_diff_missing_metric () =
+  let base =
+    bench_doc [ ("fig6", 1.0, [ ("sat/solves", 10); ("sim/op_evals", 5) ]) ]
+  in
+  let cur = bench_doc [ ("fig6", 1.0, [ ("sat/solves", 10) ]) ] in
+  Alcotest.(check bool) "dropped counter fails" true
+    (kinds (diff base cur) = [ Bench_diff.Missing_counter ]);
+  let r = diff cur base in
+  Alcotest.(check int) "extra counter is not a failure" 0
+    (List.length r.Bench_diff.violations);
+  Alcotest.(check bool) "but is reported as an addition" true
+    (r.Bench_diff.additions <> [])
+
+let test_diff_missing_section () =
+  let base = bench_doc [ ("fig6", 1.0, []); ("quality", 1.0, []) ] in
+  let cur = bench_doc [ ("fig6", 1.0, []) ] in
+  Alcotest.(check bool) "dropped section fails" true
+    (kinds (diff base cur) = [ Bench_diff.Missing_section ])
+
+let test_diff_malformed () =
+  Alcotest.(check bool) "shape error is Error, not a crash" true
+    (match
+       Bench_diff.compare_docs ~baseline:(Json.Obj []) ~current:(bench_doc []) ()
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------ Json parse *)
+
+let test_json_parse_values () =
+  List.iter
+    (fun (input, expect) ->
+      match Json.of_string input with
+      | Ok v -> Alcotest.(check string) input expect (Json.to_string v)
+      | Error msg -> Alcotest.fail (input ^ ": " ^ msg))
+    [
+      ("null", "null");
+      (" true ", "true");
+      ("-42", "-42");
+      ("2.5", "2.5");
+      ("1e3", "1000.0");
+      ({|"aA\n"|}, {|"aA\n"|});
+      ({|"😀"|}, "\"\xf0\x9f\x98\x80\"");
+      ({|[1, [], {"a": 2}]|}, {|[1,[],{"a":2}]|});
+      ({|{"x": 1, "y": [true, null]}|}, {|{"x":1,"y":[true,null]}|});
+    ]
+
+let test_json_parse_int_vs_float () =
+  Alcotest.(check bool) "integer syntax is Int" true
+    (Json.of_string "7" = Ok (Json.Int 7));
+  Alcotest.(check bool) "decimal syntax is Float" true
+    (Json.of_string "7.0" = Ok (Json.Float 7.0));
+  Alcotest.(check bool) "exponent syntax is Float" true
+    (Json.of_string "7e0" = Ok (Json.Float 7.0))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun input ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" input) true
+        (match Json.of_string input with Error _ -> true | Ok _ -> false))
+    [ ""; "{"; "[1,"; {|{"a" 1}|}; "tru"; "1 2"; {|"unterminated|};
+      {|"\ud83d"|}; "[1,]"; "nan" ]
+
 (* --------------------------------------------------------------- QCheck *)
 
 let qcheck_choose_symmetry =
@@ -354,6 +613,55 @@ let qcheck_pool_exception_cleanup =
           && Pool.map_list pool ~f:succ (List.init n Fun.id)
              = List.init n (fun i -> i + 1)))
 
+(* Float-free Json values: Int/String/Bool/Null survive a print/parse
+   cycle exactly, so the round-trip can demand structural equality. *)
+let json_value_gen =
+  let open QCheck2.Gen in
+  let key = string_size ~gen:printable (int_range 0 6) in
+  sized @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Int i) int;
+            map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 8));
+          ]
+      in
+      if n <= 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4) (pair key (self (n / 2))));
+          ])
+
+let qcheck_json_roundtrip =
+  QCheck2.Test.make ~name:"Json.of_string inverts to_string (float-free)"
+    ~count:200 json_value_gen
+    (fun v -> Json.of_string (Json.to_string v) = Ok v)
+
+let qcheck_metrics_jobs_invariant =
+  QCheck2.Test.make ~name:"counter totals invariant across jobs" ~count:20
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 0 120))
+    (fun (jobs, n) ->
+      let run jobs =
+        with_metrics (fun () ->
+            let c = Metrics.counter ~scope:"tmq" "work" in
+            Pool.with_pool ~jobs (fun pool ->
+                ignore
+                  (Pool.map_array pool
+                     ~f:(fun i ->
+                       Metrics.add c (1 + (i mod 5));
+                       i)
+                     (Array.init n Fun.id)));
+            Metrics.counter_value c)
+      in
+      run jobs = run 1)
+
 let () =
   Alcotest.run "rb_util"
     [
@@ -375,6 +683,39 @@ let () =
           Alcotest.test_case "render" `Quick test_json_render;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
           Alcotest.test_case "string escaping" `Quick test_json_escaping;
+          Alcotest.test_case "parse values" `Quick test_json_parse_values;
+          Alcotest.test_case "parse int vs float" `Quick
+            test_json_parse_int_vs_float;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_metrics_counter_basics;
+          Alcotest.test_case "scope isolation" `Quick test_metrics_scope_isolation;
+          Alcotest.test_case "kind clash rejected" `Quick test_metrics_kind_clash;
+          Alcotest.test_case "disabled sink is free" `Quick
+            test_metrics_disabled_sink_free;
+          Alcotest.test_case "timer distribution" `Quick test_metrics_timer_dist;
+          Alcotest.test_case "span nesting" `Quick test_metrics_span_nesting;
+          Alcotest.test_case "counter deltas" `Quick test_metrics_counter_deltas;
+          Alcotest.test_case "jobs determinism" `Quick
+            test_metrics_jobs_determinism;
+          Alcotest.test_case "json round-trip" `Quick test_metrics_json_roundtrip;
+        ] );
+      ( "bench_diff",
+        [
+          Alcotest.test_case "within tolerance passes" `Quick
+            test_diff_tolerance_pass;
+          Alcotest.test_case "wall regression fails" `Quick
+            test_diff_wall_regression;
+          Alcotest.test_case "counter drift fails" `Quick
+            test_diff_counter_regression;
+          Alcotest.test_case "missing counter fails" `Quick
+            test_diff_missing_metric;
+          Alcotest.test_case "missing section fails" `Quick
+            test_diff_missing_section;
+          Alcotest.test_case "malformed doc is an error" `Quick
+            test_diff_malformed;
         ] );
       ( "rng",
         [
@@ -414,5 +755,6 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ qcheck_choose_symmetry; qcheck_k_subsets_count; qcheck_rng_int_bounds;
             qcheck_shuffle_multiset; qcheck_pool_exactly_once;
-            qcheck_pool_matches_list_map; qcheck_pool_exception_cleanup ] );
+            qcheck_pool_matches_list_map; qcheck_pool_exception_cleanup;
+            qcheck_json_roundtrip; qcheck_metrics_jobs_invariant ] );
     ]
