@@ -5,7 +5,8 @@
    relative tolerance.
 
    Usage:
-     compare.exe [--wall-tol FRAC] [--counter-tol FRAC] BASELINE CURRENT
+     compare.exe [--wall-tol FRAC] [--counter-tol FRAC] [--allow-new]
+                 BASELINE CURRENT
 
    Exit status: 0 = within tolerances, 1 = regression(s), 2 = bad
    usage or malformed input. *)
@@ -14,9 +15,13 @@ module Bench_diff = Rb_util.Bench_diff
 
 let usage () =
   Printf.eprintf
-    "usage: compare.exe [--wall-tol FRAC] [--counter-tol FRAC] BASELINE CURRENT\n\
+    "usage: compare.exe [--wall-tol FRAC] [--counter-tol FRAC] [--allow-new] \
+     BASELINE CURRENT\n\
      FRAC is a relative fraction: --wall-tol 0.5 allows +50%% wall-clock.\n\
-     Counters are exact (tolerance 0) unless --counter-tol is given.\n"
+     Counters are exact (tolerance 0) unless --counter-tol is given.\n\
+     --allow-new tolerates counters absent from the baseline (noted on \
+     stderr);\n\
+     by default they fail the gate.\n"
 
 let parse_frac flag s =
   match float_of_string_opt s with
@@ -28,6 +33,7 @@ let parse_frac flag s =
 let () =
   let wall_tol = ref 0.5 in
   let counter_tol = ref 0.0 in
+  let allow_new = ref false in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -36,6 +42,9 @@ let () =
       parse rest
     | "--counter-tol" :: v :: rest ->
       counter_tol := parse_frac "--counter-tol" v;
+      parse rest
+    | "--allow-new" :: rest ->
+      allow_new := true;
       parse rest
     | [ ("--wall-tol" | "--counter-tol") as flag ] ->
       Printf.eprintf "%s expects a value\n" flag;
@@ -61,7 +70,7 @@ let () =
   in
   match
     Bench_diff.compare_files ~wall_tol:!wall_tol ~counter_tol:!counter_tol
-      ~baseline ~current ()
+      ~allow_new:!allow_new ~baseline ~current ()
   with
   | Error msg ->
     Printf.eprintf "compare: %s\n" msg;
@@ -70,8 +79,10 @@ let () =
     List.iter
       (fun v -> Printf.printf "FAIL %s\n" (Bench_diff.describe v))
       report.Bench_diff.violations;
+    (* Notes go to stderr so tooling diffing the gate's stdout sees
+       only pass/fail content. *)
     List.iter
-      (fun a -> Printf.printf "note: only in current run: %s\n" a)
+      (fun a -> Printf.eprintf "note: only in current run: %s\n" a)
       report.Bench_diff.additions;
     if report.Bench_diff.violations = [] then begin
       Printf.printf

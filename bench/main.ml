@@ -11,7 +11,8 @@
 
    Usage:
      main.exe [--jobs N] [--sections a,b,...] [--list-sections]
-              [--metrics FILE] [SECTION...]
+              [--metrics FILE] [--checkpoint FILE] [--resume]
+              [--solver-budget N] [SECTION...]
 
      --jobs N        worker domains (default: available cores; 1 = no
                      worker domains, everything runs inline)
@@ -22,6 +23,15 @@
                      per section (name, wall-clock, deterministic
                      counter deltas) plus the full end-of-run metric
                      snapshot; bench/compare.exe diffs two such files
+     --checkpoint F  journal completed sweep chunks to F (JSON lines,
+                     flushed per record); SIGINT flushes it and exits
+                     130, so an interrupted sweep loses nothing
+     --resume        replay chunks already in the --checkpoint journal
+                     instead of recomputing them; stdout is
+                     byte-identical to an uninterrupted run
+     --solver-budget N  cap every SAT-attack miter solve at N CDCL
+                     conflicts; exhausted cells render as
+                     "limit:<reason>@<iterations>" instead of hanging
 
    Rb_util.Metrics collection is always on here: per-section
    wall-clock is reported once, in section order, on stderr after the
@@ -51,6 +61,8 @@ module Rng = Rb_util.Rng
 module Pool = Rb_util.Pool
 module Metrics = Rb_util.Metrics
 module Json = Rb_util.Json
+module Limits = Rb_util.Limits
+module Checkpoint = Rb_util.Checkpoint
 
 let section name =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') name (String.make 72 '=')
@@ -60,7 +72,7 @@ let section name =
 (* Sections built around the shared pool: contexts and the
    configuration sweep are computed once (lazily, in parallel) and
    reused by every section that needs them. *)
-let experiment_sections pool =
+let experiment_sections pool journal =
   let contexts =
     lazy
       (Pool.map_list pool
@@ -72,7 +84,7 @@ let experiment_sections pool =
   in
   let suite =
     lazy
-      (Experiments.sweep_suite ~pool ~max_combos_per_config:2000
+      (Experiments.sweep_suite ~pool ?journal ~max_combos_per_config:2000
          ~max_optimal_assignments:200_000 (Lazy.force contexts))
   in
   let fig4 () =
@@ -216,7 +228,7 @@ let eqn1 () =
 
 (* ------------------------------------------------------------ sat-attack *)
 
-let sat_attack () =
+let sat_attack ~limit () =
   section
     "SAT attack (Sec. II) - measured DIP iterations on locked adders, next to\n\
      the Eqn. 1 prediction; the corruption/resilience trade-off, empirically";
@@ -237,11 +249,15 @@ let sat_attack () =
     let key_bits = Netlist.n_keys locked.Lock.circuit in
     let c0 = Metrics.counter_value m_conflicts in
     let iterations =
-      match Attack.attack_locked ~max_iterations:20_000 locked with
+      match Attack.attack_locked ~max_iterations:20_000 ~limit locked with
       | Attack.Broken { key; iterations } ->
         assert (Attack.key_is_correct locked key);
         string_of_int iterations
       | Attack.Budget_exceeded { iterations } -> Printf.sprintf ">%d" iterations
+      (* Budget-exhausted cells are marked, not dropped: the row keeps
+         its place in the table and says why the number is partial. *)
+      | Attack.Solver_limit { iterations; reason } ->
+        Printf.sprintf "limit:%s@%d" (Limits.reason_label reason) iterations
     in
     let conflicts = Metrics.counter_value m_conflicts - c0 in
     let lambda =
@@ -302,7 +318,7 @@ let sat_attack () =
       ~columns:[ "exact convergence"; "residual error rate" ]
   in
   let approx_case label locked =
-    let outcome = Attack.approximate ~dip_budget:10 locked in
+    let outcome = Attack.approximate ~dip_budget:10 ~limit locked in
     Table.add_text_row approx ~label
       ~cells:
         [
@@ -354,7 +370,13 @@ let methodology () =
           [
             string_of_int goal.Methodology.target_error_events;
             Printf.sprintf "%.0e" goal.Methodology.min_lambda;
-            string_of_int plan.Methodology.minterms_per_fu;
+            (match plan.Methodology.stopped with
+            | None -> string_of_int plan.Methodology.minterms_per_fu
+            | Some reason ->
+              (* The search was interrupted: the budget shown is the
+                 largest one evaluated, not the converged answer. *)
+              Printf.sprintf "%d (stopped: %s)" plan.Methodology.minterms_per_fu
+                (Limits.reason_label reason));
             string_of_int plan.Methodology.achieved_errors;
             (if plan.Methodology.predicted_lambda = infinity then "inf"
              else Printf.sprintf "%.0f" plan.Methodology.predicted_lambda);
@@ -454,7 +476,8 @@ let section_order =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--jobs N] [--sections a,b,...] [--list-sections]\n\
-    \       [--metrics FILE] [SECTION...]\n\
+    \       [--metrics FILE] [--checkpoint FILE] [--resume]\n\
+    \       [--solver-budget N] [SECTION...]\n\
      available sections: %s\n"
     (String.concat " " section_order)
 
@@ -504,6 +527,9 @@ let () =
   let requested = ref [] in
   let list_only = ref false in
   let metrics_out = ref None in
+  let checkpoint_path = ref None in
+  let resume = ref false in
+  let solver_budget = ref None in
   let rec parse = function
     | [] -> ()
     | "--list-sections" :: rest ->
@@ -527,6 +553,21 @@ let () =
     | [ "--metrics" ] ->
       Printf.eprintf "--metrics expects a file name\n";
       exit 2
+    | "--checkpoint" :: path :: rest ->
+      checkpoint_path := Some path;
+      parse rest
+    | [ "--checkpoint" ] ->
+      Printf.eprintf "--checkpoint expects a file name\n";
+      exit 2
+    | "--resume" :: rest ->
+      resume := true;
+      parse rest
+    | "--solver-budget" :: n :: rest ->
+      solver_budget := Some (parse_pos_int "--solver-budget" n);
+      parse rest
+    | [ "--solver-budget" ] ->
+      Printf.eprintf "--solver-budget expects a value\n";
+      exit 2
     | ("--help" | "-h") :: _ ->
       usage ();
       exit 0
@@ -538,6 +579,14 @@ let () =
       parse rest
     | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
       metrics_out := Some (String.sub arg 10 (String.length arg - 10));
+      parse rest
+    | arg :: rest when String.length arg > 13 && String.sub arg 0 13 = "--checkpoint=" ->
+      checkpoint_path := Some (String.sub arg 13 (String.length arg - 13));
+      parse rest
+    | arg :: rest
+      when String.length arg > 16 && String.sub arg 0 16 = "--solver-budget=" ->
+      solver_budget :=
+        Some (parse_pos_int "--solver-budget" (String.sub arg 16 (String.length arg - 16)));
       parse rest
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
       Printf.eprintf "unknown option %s\n" arg;
@@ -552,14 +601,38 @@ let () =
     List.iter print_endline section_order;
     exit 0
   end;
+  if !resume && !checkpoint_path = None then begin
+    Printf.eprintf "--resume requires --checkpoint FILE\n";
+    exit 2
+  end;
   Rb_core.Binders.ensure_registered ();
   Metrics.set_enabled true;
+  let journal =
+    Option.map (fun path -> Checkpoint.create ~path ~resume:!resume) !checkpoint_path
+  in
+  (* With a checkpoint, ^C must not lose completed chunks: flush the
+     journal (records are flushed per write, this catches any in-flight
+     buffer) and exit with the conventional SIGINT status. Without one,
+     the default fatal-signal behaviour is fine. *)
+  (match journal with
+  | Some j ->
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           Checkpoint.flush_now j;
+           exit 130))
+  | None -> ());
+  let attack_limit =
+    match !solver_budget with
+    | None -> Limits.none
+    | Some n -> Limits.conflicts n
+  in
   Pool.with_pool ~jobs:!jobs (fun pool ->
       let sections =
-        experiment_sections pool
+        experiment_sections pool journal
         @ [
             ("eqn1", eqn1);
-            ("sat-attack", sat_attack);
+            ("sat-attack", sat_attack ~limit:attack_limit);
             ("methodology", methodology);
             ("runtime", runtime);
           ]
@@ -596,6 +669,12 @@ let () =
           Printf.eprintf "[%s: %.2fs, jobs=%d]\n" name wall (Pool.jobs pool))
         records;
       flush stderr;
+      (match journal with
+      | Some j ->
+        Printf.eprintf "[checkpoint %s: %d chunk(s) journaled]\n" (Checkpoint.path j)
+          (Checkpoint.entries j);
+        Checkpoint.close j
+      | None -> ());
       match !metrics_out with
       | None -> ()
       | Some path ->

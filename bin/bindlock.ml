@@ -404,7 +404,10 @@ let attack_cmd =
            (if Rb_sat.Attack.key_is_correct locked key then "is functionally correct"
             else "FAILS verification")
        | Rb_sat.Attack.Budget_exceeded { iterations } ->
-         Format.printf "survived %d iterations (%.2fs)@." iterations (Sys.time () -. t0));
+         Format.printf "survived %d iterations (%.2fs)@." iterations (Sys.time () -. t0)
+       | Rb_sat.Attack.Solver_limit { iterations; reason } ->
+         Format.printf "solver %s budget exhausted after %d iterations (%.2fs)@."
+           (Rb_util.Limits.reason_label reason) iterations (Sys.time () -. t0));
       Ok ()
     end
   in

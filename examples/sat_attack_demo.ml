@@ -34,6 +34,8 @@ let attack_row table base (locked : Lock.locked) =
       let ok = Attack.key_is_correct locked key in
       (iterations, if ok then "broken (key verified)" else "broken (WRONG KEY?)")
     | Attack.Budget_exceeded { iterations } -> (iterations, "survived budget")
+    | Attack.Solver_limit { iterations; reason } ->
+      (iterations, "solver gave up: " ^ Rb_util.Limits.reason_label reason)
   in
   (* a representative wrong key: flip every other correct-key bit *)
   let wrong = Array.mapi (fun i b -> if i mod 2 = 0 then not b else b) locked.Lock.correct_key in

@@ -66,6 +66,7 @@ type config_result = {
 
 val sweep :
   ?pool:Rb_util.Pool.t ->
+  ?journal:Rb_util.Checkpoint.t ->
   ?seed:int ->
   ?max_combos_per_config:int ->
   ?max_optimal_assignments:int ->
@@ -85,7 +86,16 @@ val sweep :
     chunks of the (lexicographically ordered) combination space; every
     sampled combination derives its RNG from the seed and its own
     index, so the result is byte-identical for any worker count,
-    including [None]. *)
+    including [None].
+
+    Chunk evaluation is fault-isolated: a chunk whose task raises is
+    retried in place (twice), and only a chunk that keeps failing
+    aborts the sweep — after every other chunk has completed. With
+    [?journal], each completed chunk is recorded under a key built
+    from the seed, benchmark, kind, configuration and chunk index, and
+    a resumed run replays journaled chunks instead of recomputing them
+    (falling back to recomputation on any decode mismatch) — the
+    returned results are byte-identical either way. *)
 
 val ratio_vs : int -> int -> float
 (** [ratio_vs security baseline] with the zero-baseline floor. *)
@@ -213,6 +223,7 @@ type sweep_key = { sk_benchmark : string; sk_kind : Dfg.op_kind }
 
 val sweep_suite :
   ?pool:Rb_util.Pool.t ->
+  ?journal:Rb_util.Checkpoint.t ->
   ?seed:int ->
   ?max_combos_per_config:int ->
   ?max_optimal_assignments:int ->
@@ -223,7 +234,8 @@ val sweep_suite :
 (** {!sweep} over every (benchmark, kind) pair, in benchmark order
     with Add before Mul. One pool task per pair; the nested
     combination-chunk fan-out of {!sweep} runs inline inside those
-    tasks. *)
+    tasks. [?journal] is shared across the whole suite — the sweep
+    keys disambiguate benchmarks and kinds. *)
 
 val fig4_rows : (sweep_key * config_result list) list -> fig4_row list
 (** The {!fig4_row} of every sweep that has at least one feasible

@@ -2,6 +2,7 @@ module Netlist = Rb_netlist.Netlist
 module Lock = Rb_netlist.Lock
 module Rng = Rb_util.Rng
 module Metrics = Rb_util.Metrics
+module Limits = Rb_util.Limits
 
 (* Deterministic attack counters: one [dip_queries] per attack
    iteration (the paper's security unit — what Eqn. 1 predicts), one
@@ -15,6 +16,7 @@ let m_key_extractions = Metrics.counter ~scope:"attack" "key_extractions"
 type outcome =
   | Broken of { key : bool array; iterations : int }
   | Budget_exceeded of { iterations : int }
+  | Solver_limit of { iterations : int; reason : Limits.reason }
 
 (* Force at least one pair of corresponding outputs to differ: for each
    output pair (a, b) introduce d with d -> (a xor b), and require
@@ -69,21 +71,28 @@ let extract_key m =
       Tseitin.constrain_inputs key_solver inst inputs;
       Tseitin.constrain_outputs key_solver inst response)
     m.history;
+  (* Key extraction is never budgeted: it re-solves a conjunction of
+     satisfied constraints, which the correct key satisfies by
+     construction. *)
   match Solver.solve key_solver with
   | Sat ->
     Array.init (Netlist.n_keys m.locked) (fun i ->
         Solver.value key_solver model.Tseitin.key_vars.(i))
-  | Unsat -> assert false
+  | Unsat | Unknown _ -> assert false
 
-let run ?(max_iterations = 100_000) ~oracle ~locked () =
+let run ?(max_iterations = 100_000) ?limit ~oracle ~locked () =
   Metrics.incr m_runs;
   let m = new_miter locked in
   let n_in = Netlist.n_inputs locked in
   let rec attack_loop iterations =
     if iterations >= max_iterations then Budget_exceeded { iterations }
     else
-      match Solver.solve m.solver with
+      match Solver.solve ?limit m.solver with
       | Unsat -> Broken { key = extract_key m; iterations }
+      | Unknown reason ->
+        (* Degrade to a partial resilience estimate: the DIPs found so
+           far are a lower bound on the scheme's iteration count. *)
+        Solver_limit { iterations; reason }
       | Sat ->
         let dip =
           Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))
@@ -95,11 +104,11 @@ let run ?(max_iterations = 100_000) ~oracle ~locked () =
   in
   attack_loop 0
 
-let attack_locked ?max_iterations (locked : Lock.locked) =
+let attack_locked ?max_iterations ?limit (locked : Lock.locked) =
   let oracle inputs =
     Netlist.eval locked.circuit ~inputs ~keys:locked.correct_key
   in
-  run ?max_iterations ~oracle ~locked:locked.circuit ()
+  run ?max_iterations ?limit ~oracle ~locked:locked.circuit ()
 
 let key_is_correct (locked : Lock.locked) candidate =
   let c = locked.circuit in
@@ -130,7 +139,7 @@ type approximate_outcome = {
 }
 
 let approximate ?(dip_budget = 30) ?(queries_per_round = 16) ?(estimate_samples = 2000)
-    ?(seed = 97) (locked : Lock.locked) =
+    ?(seed = 97) ?limit (locked : Lock.locked) =
   let oracle inputs =
     Netlist.eval locked.Lock.circuit ~inputs ~keys:locked.Lock.correct_key
   in
@@ -147,8 +156,11 @@ let approximate ?(dip_budget = 30) ?(queries_per_round = 16) ?(estimate_samples 
   let rec loop iterations =
     if iterations >= dip_budget then (iterations, false)
     else
-      match Solver.solve m.solver with
+      match Solver.solve ?limit m.solver with
       | Unsat -> (iterations, true)
+      (* A budgeted solve that gives up is just another way of not
+         converging; the extracted key is still the best candidate. *)
+      | Unknown _ -> (iterations, false)
       | Sat ->
         let dip =
           Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))

@@ -20,20 +20,30 @@ type outcome =
       (** the recovered key and the number of DIP iterations *)
   | Budget_exceeded of { iterations : int }
       (** iteration budget exhausted before convergence *)
+  | Solver_limit of { iterations : int; reason : Rb_util.Limits.reason }
+      (** a budgeted miter solve returned [Unknown]: the attack
+          degrades to a partial estimate — [iterations] DIPs is a
+          lower bound on the scheme's resilience *)
 
 val run :
   ?max_iterations:int ->
+  ?limit:Rb_util.Limits.t ->
   oracle:(bool array -> bool array) ->
   locked:Rb_netlist.Netlist.t ->
   unit ->
   outcome
 (** [run ~oracle ~locked ()] attacks a locked netlist. [oracle] maps a
     primary-input assignment to the activated chip's outputs.
-    [max_iterations] defaults to 100_000. The returned key is verified
-    internally against all recorded DIPs; callers typically verify it
-    exhaustively against the oracle in tests. *)
+    [max_iterations] defaults to 100_000. [?limit] bounds every miter
+    solve (see {!Solver.solve}); a tripped limit yields
+    [Solver_limit] instead of hanging on a pathologically hard miter.
+    Key extraction after an [Unsat] miter is never budgeted. The
+    returned key is verified internally against all recorded DIPs;
+    callers typically verify it exhaustively against the oracle in
+    tests. *)
 
-val attack_locked : ?max_iterations:int -> Rb_netlist.Lock.locked -> outcome
+val attack_locked :
+  ?max_iterations:int -> ?limit:Rb_util.Limits.t -> Rb_netlist.Lock.locked -> outcome
 (** Convenience: attack a {!Rb_netlist.Lock.locked} construction using
     its own correct key to answer oracle queries (the usual
     experimental setup, where the attacker's chip is simulated). *)
@@ -57,6 +67,7 @@ val approximate :
   ?queries_per_round:int ->
   ?estimate_samples:int ->
   ?seed:int ->
+  ?limit:Rb_util.Limits.t ->
   Rb_netlist.Lock.locked ->
   approximate_outcome
 (** The approximate attack of Shamsi et al.'s impossibility result

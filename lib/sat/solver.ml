@@ -1,4 +1,7 @@
-type result = Sat | Unsat
+module Limits = Rb_util.Limits
+module Faults = Rb_util.Faults
+
+type result = Sat | Unsat | Unknown of Limits.reason
 
 type stats = {
   decisions : int;
@@ -35,6 +38,7 @@ type t = {
   mutable s_propagations : int;
   mutable s_restarts : int;
   mutable s_learned : int;
+  mutable s_solves : int;
 }
 
 let create () =
@@ -61,6 +65,7 @@ let create () =
     s_propagations = 0;
     s_restarts = 0;
     s_learned = 0;
+    s_solves = 0;
   }
 
 let grow_int_array arr size default =
@@ -347,6 +352,7 @@ module Metrics = Rb_util.Metrics
 let m_solves = Metrics.counter ~scope:"sat" "solves"
 let m_sat = Metrics.counter ~scope:"sat" "sat_results"
 let m_unsat = Metrics.counter ~scope:"sat" "unsat_results"
+let m_unknown = Metrics.counter ~scope:"sat" "unknown_results"
 let m_decisions = Metrics.counter ~scope:"sat" "decisions"
 let m_conflicts = Metrics.counter ~scope:"sat" "conflicts"
 let m_propagations = Metrics.counter ~scope:"sat" "propagations"
@@ -357,14 +363,16 @@ let t_solve = Metrics.timer ~scope:"sat" "solve"
 let flush_metrics s ~from result =
   let d0, c0, p0, r0, l0 = from in
   Metrics.incr m_solves;
-  Metrics.incr (match result with Sat -> m_sat | Unsat -> m_unsat);
+  Metrics.incr
+    (match result with Sat -> m_sat | Unsat -> m_unsat | Unknown _ -> m_unknown);
   Metrics.add m_decisions (s.s_decisions - d0);
   Metrics.add m_conflicts (s.s_conflicts - c0);
   Metrics.add m_propagations (s.s_propagations - p0);
   Metrics.add m_restarts (s.s_restarts - r0);
   Metrics.add m_learned (s.s_learned - l0)
 
-let solve ?(assumptions = []) s =
+let solve ?(assumptions = []) ?(limit = Limits.none) s =
+  s.s_solves <- s.s_solves + 1;
   let from =
     (s.s_decisions, s.s_conflicts, s.s_propagations, s.s_restarts, s.s_learned)
   in
@@ -372,8 +380,25 @@ let solve ?(assumptions = []) s =
     flush_metrics s ~from result;
     result
   in
+  (* Budgets apply per solve call; the limit poll is skipped entirely
+     on the (default) unlimited path so the search loop stays free of
+     clock and flag reads. The "sat/budget" fault site simulates
+     immediate exhaustion of a budgeted call — keyed by the solver's
+     own solve ordinal, so it is independent of scheduling. *)
+  let limited = not (Limits.is_none limit) in
+  let _, c0, p0, _, _ = from in
+  let injected =
+    limited
+    && match Faults.inject ~site:"sat/budget" ~key:(string_of_int s.s_solves) with
+       | () -> false
+       | exception Faults.Injected _ -> true
+  in
   Metrics.time t_solve @@ fun () ->
   if s.root_unsat then finish Unsat
+  else if injected then begin
+    Limits.note Limits.Conflicts;
+    finish (Unknown Limits.Conflicts)
+  end
   else begin
     List.iter
       (fun lit ->
@@ -387,6 +412,16 @@ let solve ?(assumptions = []) s =
     let result = ref None in
     (try
        while !result = None do
+         if limited then
+           (match
+              Limits.check limit ~conflicts:(s.s_conflicts - c0)
+                ~propagations:(s.s_propagations - p0)
+            with
+           | None -> ()
+           | Some r ->
+             Limits.note r;
+             backtrack s 0;
+             raise (Result (Unknown r)));
          let confl = propagate s in
          if confl >= 0 then begin
            s.s_conflicts <- s.s_conflicts + 1;
@@ -447,7 +482,7 @@ let solve ?(assumptions = []) s =
       done;
       backtrack s 0;
       finish Sat
-    | Some Unsat -> finish Unsat
+    | Some (Unsat | Unknown _ as r) -> finish r
     | None -> assert false
   end
 

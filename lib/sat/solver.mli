@@ -22,7 +22,12 @@
 
 type t
 
-type result = Sat | Unsat
+type result =
+  | Sat
+  | Unsat
+  | Unknown of Rb_util.Limits.reason
+      (** the [?limit] passed to {!solve} tripped before a decision was
+          reached; the payload says which budget ran out *)
 
 type stats = {
   decisions : int;
@@ -48,11 +53,24 @@ val add_clause : t -> int list -> unit
     literals at level 0) makes the instance permanently unsatisfiable.
     May be called between [solve] calls (incremental interface). *)
 
-val solve : ?assumptions:int list -> t -> result
+val solve : ?assumptions:int list -> ?limit:Rb_util.Limits.t -> t -> result
 (** Decide satisfiability of the current clause set under optional
     assumption literals. After [Sat], {!value} reads the model; after
     [Unsat] with assumptions, the instance may still be satisfiable
-    under different assumptions. *)
+    under different assumptions.
+
+    [?limit] (default {!Rb_util.Limits.none}) bounds the search:
+    budgets are polled once per search-loop iteration against this
+    call's own conflict/propagation deltas, and a tripped limit
+    returns [Unknown reason] with the trail fully backtracked — the
+    solver stays usable incrementally, and a later unlimited [solve]
+    can still decide the instance. Conflict/propagation budgets abort
+    at a deterministic point; deadline and cancel limits do not (see
+    {!Rb_util.Limits}). An [Unknown] result counts under
+    ["sat/unknown_results"] and ["limits/budget_exhausted"]. When the
+    {!Rb_util.Faults} site ["sat/budget"] fires (keyed by this
+    solver's solve ordinal), a budgeted call reports
+    [Unknown Conflicts] immediately. *)
 
 val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer. Unconstrained

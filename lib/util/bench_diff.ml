@@ -1,4 +1,9 @@
-type kind = Missing_section | Missing_counter | Counter_drift | Wall_regression
+type kind =
+  | Missing_section
+  | Missing_counter
+  | New_counter
+  | Counter_drift
+  | Wall_regression
 
 type violation = {
   section : string;
@@ -21,6 +26,11 @@ let describe v =
   | Missing_counter ->
     Printf.sprintf "%s: counter %s missing from current run (baseline %.0f)"
       v.section v.metric v.baseline
+  | New_counter ->
+    Printf.sprintf
+      "%s: counter %s not in baseline (current %.0f) — refresh the baseline or \
+       pass --allow-new"
+      v.section v.metric v.current
   | Counter_drift ->
     Printf.sprintf "%s: counter %s drifted %.0f -> %.0f" v.section v.metric
       v.baseline v.current
@@ -84,7 +94,8 @@ let within_rel ~tol ~baseline ~current =
     Float.abs (current -. baseline) <= (tol *. scale) +. 1e-12
   end
 
-let compare_docs ?(wall_tol = 0.5) ?(counter_tol = 0.0) ~baseline ~current () =
+let compare_docs ?(wall_tol = 0.5) ?(counter_tol = 0.0) ?(allow_new = false)
+    ~baseline ~current () =
   if wall_tol < 0.0 || counter_tol < 0.0 then
     invalid_arg "Bench_diff.compare_docs: negative tolerance";
   match
@@ -116,10 +127,15 @@ let compare_docs ?(wall_tol = 0.5) ?(counter_tol = 0.0) ~baseline ~current () =
                 if not (within_rel ~tol:counter_tol ~baseline:bv ~current:cv) then
                   flag b.name key Counter_drift bv cv)
             b.counters;
+          (* Counters only in the current run: strict mode treats them
+             as a gate failure (instrumentation changed without a
+             baseline refresh); [allow_new] demotes them to notes. *)
           List.iter
-            (fun (key, _) ->
+            (fun (key, cv) ->
               if not (List.mem_assoc key b.counters) then
-                additions := Printf.sprintf "%s/%s" c.name key :: !additions)
+                if allow_new then
+                  additions := Printf.sprintf "%s/%s" c.name key :: !additions
+                else flag b.name key New_counter 0.0 cv)
             c.counters)
       base;
     List.iter
@@ -140,7 +156,7 @@ let read_file path =
   | contents -> Ok contents
   | exception Sys_error msg -> Error msg
 
-let compare_files ?wall_tol ?counter_tol ~baseline ~current () =
+let compare_files ?wall_tol ?counter_tol ?allow_new ~baseline ~current () =
   let ( let* ) = Result.bind in
   let load label path =
     let* contents =
@@ -150,4 +166,4 @@ let compare_files ?wall_tol ?counter_tol ~baseline ~current () =
   in
   let* baseline = load "baseline" baseline in
   let* current = load "current" current in
-  compare_docs ?wall_tol ?counter_tol ~baseline ~current ()
+  compare_docs ?wall_tol ?counter_tol ?allow_new ~baseline ~current ()

@@ -12,16 +12,23 @@
       [current > baseline * (1 + wall_tol)] is a regression; getting
       faster never fails the gate.
 
-    Sections and counters present only in [current] are reported as
-    informational additions, never failures, so adding
-    instrumentation does not require lock-step baseline updates;
-    anything in [baseline] but missing from [current] is a failure
-    (silent coverage shrink is exactly what the gate exists to
-    catch). *)
+    Divergence in either direction is surfaced: anything in
+    [baseline] but missing from [current] is a failure (silent
+    coverage shrink is exactly what the gate exists to catch), and a
+    counter only in [current] is a failure too by default — behaviour
+    grew without a baseline refresh. Pass [allow_new] to demote new
+    counters to informational additions (the intended mode for a PR
+    that adds instrumentation and defers the baseline refresh).
+    Sections only in [current] are always informational — the gate
+    runs a pinned section list, so an extra section cannot slip in
+    silently. *)
 
 type kind =
   | Missing_section  (** baseline section absent from current *)
   | Missing_counter  (** baseline counter absent from the section *)
+  | New_counter
+      (** counter absent from the baseline section (strict mode only —
+          [allow_new] reports these as additions instead) *)
   | Counter_drift  (** counter outside [counter_tol], either direction *)
   | Wall_regression  (** wall-clock above [baseline * (1 + wall_tol)] *)
 
@@ -48,19 +55,23 @@ val describe : violation -> string
 val compare_docs :
   ?wall_tol:float ->
   ?counter_tol:float ->
+  ?allow_new:bool ->
   baseline:Json.t ->
   current:Json.t ->
   unit ->
   (report, string) result
 (** [wall_tol] and [counter_tol] are relative fractions (e.g. [0.5] =
-    +50%); defaults [wall_tol = 0.5], [counter_tol = 0.0]. [Error]
-    means one of the documents does not have the [rb-bench/1] shape
-    (that is a malformed input, not a regression — callers should
-    exit with a distinct status). *)
+    +50%); defaults [wall_tol = 0.5], [counter_tol = 0.0].
+    [allow_new] (default [false]) tolerates counters present only in
+    [current] as additions instead of {!New_counter} violations.
+    [Error] means one of the documents does not have the [rb-bench/1]
+    shape (that is a malformed input, not a regression — callers
+    should exit with a distinct status). *)
 
 val compare_files :
   ?wall_tol:float ->
   ?counter_tol:float ->
+  ?allow_new:bool ->
   baseline:string ->
   current:string ->
   unit ->

@@ -1,0 +1,103 @@
+type t = {
+  path : string;
+  mutex : Mutex.t;
+  table : (string, Json.t) Hashtbl.t;
+  mutable oc : out_channel option;
+}
+
+let m_skipped = Metrics.counter ~scope:"limits" "checkpoint_chunks_skipped"
+
+(* One journal line. Rendered compactly so a record is a single line
+   and the journal stays greppable. *)
+let render_line key value =
+  Json.to_string (Json.Obj [ ("k", Json.String key); ("v", value) ])
+
+let parse_line line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok doc -> (
+    match (Json.member "k" doc, Json.member "v" doc) with
+    | Some (Json.String k), Some v -> Some (k, v)
+    | _ -> None)
+
+(* Load an existing journal. A run killed mid-write leaves a torn final
+   line; parsing stops at the first undecodable line so a torn tail
+   costs at most the record being written when the run died. *)
+let load table path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> ()
+          | line ->
+            if String.trim line = "" then loop ()
+            else (
+              match parse_line line with
+              | None -> () (* torn tail: ignore this and everything after *)
+              | Some (k, v) ->
+                Hashtbl.replace table k v;
+                loop ())
+        in
+        loop ())
+  end
+
+let create ~path ~resume =
+  let table = Hashtbl.create 64 in
+  if resume then load table path;
+  (* Append keeps replayed records on resume; a fresh run truncates. *)
+  let flags =
+    if resume then [ Open_wronly; Open_creat; Open_append; Open_binary ]
+    else [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  { path; mutex = Mutex.create (); table; oc = Some oc }
+
+let path t = t.path
+let entries t = Hashtbl.length t.table
+
+let find t key =
+  Mutex.lock t.mutex;
+  let v = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.mutex;
+  if v <> None then Metrics.incr m_skipped;
+  v
+
+let record t key value =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key value;
+        match t.oc with
+        | None -> ()
+        | Some oc ->
+          (* Flush per record: crash safety is the point. *)
+          output_string oc (render_line key value);
+          output_char oc '\n';
+          flush oc
+      end)
+
+(* Best-effort: callable from a signal handler, which may interrupt a
+   thread that already holds the mutex — never block there. Records
+   are flushed as they are written, so this only catches an in-flight
+   buffer. *)
+let flush_now t =
+  if Mutex.try_lock t.mutex then begin
+    (match t.oc with Some oc -> (try flush oc with Sys_error _ -> ()) | None -> ());
+    Mutex.unlock t.mutex
+  end
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        t.oc <- None;
+        close_out_noerr oc)

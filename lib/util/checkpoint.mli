@@ -1,0 +1,47 @@
+(** A crash-safe journal of completed work chunks.
+
+    Long sweeps record each finished chunk under a stable string key;
+    a resumed run looks its chunks up before recomputing them. The
+    journal is an append-only file of JSON lines
+    ([{"k": "<key>", "v": <value>}] — one record per line, flushed as
+    it is written), so a run killed at any point loses at most the
+    record being written: on load, parsing stops at the first torn
+    line.
+
+    Keys must be stable across runs and unique per chunk (the sweep
+    drivers build them from benchmark, kind, configuration and chunk
+    index). Values are whatever {!Json.t} the caller can replay a
+    chunk result from. Recording an already-present key is a no-op, so
+    a resumed run appends only the chunks it actually computed.
+
+    All operations are mutex-protected and safe from pool worker
+    domains. When {!Metrics} collection is enabled, journal hits count
+    under ["limits/checkpoint_chunks_skipped"]. *)
+
+type t
+
+val create : path:string -> resume:bool -> t
+(** Open a journal at [path]. With [~resume:true], existing records
+    are loaded (tolerating a torn tail) and new ones appended; with
+    [~resume:false] the file is truncated. *)
+
+val path : t -> string
+
+val entries : t -> int
+(** Records currently held (loaded + recorded this run). *)
+
+val find : t -> string -> Json.t option
+(** Look a chunk up; a hit bumps the skip counter. *)
+
+val record : t -> string -> Json.t -> unit
+(** Journal one completed chunk (write + flush). No-op if the key is
+    already present. *)
+
+val flush_now : t -> unit
+(** Best-effort flush that never blocks — safe to call from a signal
+    handler (uses [Mutex.try_lock]; records are already flushed as
+    written, so this only catches an in-flight buffer). *)
+
+val close : t -> unit
+(** Close the underlying channel. Idempotent; {!find} keeps working,
+    further {!record}s update only the in-memory table. *)

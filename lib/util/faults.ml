@@ -1,0 +1,59 @@
+exception Injected of string
+
+type config = { seed : int; rate_per_mille : int; sites : string list }
+
+let m_injected = Metrics.counter ~scope:"faults" "injected"
+
+let active : config option Atomic.t = Atomic.make None
+
+let configure c = Atomic.set active c
+let config () = Atomic.get active
+let enabled () = Atomic.get active <> None
+
+let site_allowed c site = c.sites = [] || List.mem site c.sites
+
+let decide c ~site ~key =
+  site_allowed c site
+  && Hashtbl.hash (c.seed, site, key) mod 1000
+     < max 0 (min 1000 c.rate_per_mille)
+
+let fire ~site ~key =
+  match Atomic.get active with None -> false | Some c -> decide c ~site ~key
+
+let inject ~site ~key =
+  match Atomic.get active with
+  | None -> ()
+  | Some c ->
+    if decide c ~site ~key then begin
+      Metrics.incr m_injected;
+      raise (Injected (site ^ ":" ^ key))
+    end
+
+let with_config c f =
+  let previous = Atomic.get active in
+  Atomic.set active c;
+  Fun.protect ~finally:(fun () -> Atomic.set active previous) f
+
+(* CI enables the harness on an unmodified binary through the
+   environment; a missing or malformed RB_FAULT_SEED leaves it off. *)
+let () =
+  match Sys.getenv_opt "RB_FAULT_SEED" with
+  | None -> ()
+  | Some seed_s -> (
+    match int_of_string_opt (String.trim seed_s) with
+    | None -> ()
+    | Some seed ->
+      let rate =
+        match Sys.getenv_opt "RB_FAULT_RATE" with
+        | Some r -> ( match int_of_string_opt (String.trim r) with Some r -> r | None -> 100)
+        | None -> 100
+      in
+      let sites =
+        match Sys.getenv_opt "RB_FAULT_SITES" with
+        | None | Some "" -> []
+        | Some s ->
+          String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+      in
+      configure (Some { seed; rate_per_mille = rate; sites }))

@@ -84,8 +84,11 @@ let member name = function
   | _ -> None
 
 (* Recursive-descent parser over a string with an explicit cursor.
-   Depth of real documents here is tiny (BENCH.json nests 4 deep), so
-   recursion is fine. *)
+   Depth of real documents here is tiny (BENCH.json nests 4 deep);
+   [max_depth] only guards against pathological inputs whose recursion
+   would otherwise blow the stack. *)
+let max_depth = 1000
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -220,7 +223,10 @@ let of_string s =
       | Some i -> Int i
       | None -> Float (float_of_string text)
   in
-  let rec parse_value () =
+  (* Containers recurse through [parse_value]; a depth cap keeps
+     adversarial inputs like ["[[[[..."] from overflowing the stack. *)
+  let rec parse_value depth =
+    if depth > max_depth then fail !pos "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail !pos "unexpected end of input"
@@ -237,7 +243,7 @@ let of_string s =
           let name = parse_string () in
           skip_ws ();
           expect ':';
-          let value = parse_value () in
+          let value = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -259,7 +265,7 @@ let of_string s =
       end
       else begin
         let rec items acc =
-          let value = parse_value () in
+          let value = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -280,7 +286,7 @@ let of_string s =
     | Some c -> fail !pos (Printf.sprintf "unexpected character %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos < n then fail !pos "trailing content after document";
     v

@@ -37,8 +37,9 @@ val of_string : string -> (t, string) result
     forms ([\uXXXX] including surrogate pairs, decoded to UTF-8),
     exponent floats. Numbers parse as [Int] when they are written in
     integer syntax and fit in [int], as [Float] otherwise. Duplicate
-    object fields are kept in document order. [Error msg] carries a
-    byte offset. *)
+    object fields are kept in document order. Containers may nest at
+    most 1000 levels deep — beyond that is a parse error, not a stack
+    overflow. [Error msg] carries a byte offset. *)
 
 val member : string -> t -> t option
 (** Field lookup on [Obj] (first match); [None] on other variants. *)

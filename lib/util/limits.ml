@@ -1,0 +1,58 @@
+type reason = Conflicts | Propagations | Deadline | Cancelled
+
+type t = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  deadline_s : float option;
+  cancel : bool Atomic.t option;
+}
+
+let none =
+  { max_conflicts = None; max_propagations = None; deadline_s = None; cancel = None }
+
+let make ?max_conflicts ?max_propagations ?deadline_s ?cancel () =
+  { max_conflicts; max_propagations; deadline_s; cancel }
+
+let conflicts n = make ~max_conflicts:n ()
+
+let is_none t =
+  t.max_conflicts = None && t.max_propagations = None && t.deadline_s = None
+  && t.cancel = None
+
+let new_cancel () = Atomic.make false
+let cancel flag = Atomic.set flag true
+let cancelled flag = Atomic.get flag
+
+let exceeds budget used =
+  match budget with Some b -> used >= b | None -> false
+
+(* The nondeterministic half: cancel flag first (one atomic read),
+   then the wall clock (a syscall — only consulted when a deadline is
+   actually set). *)
+let interrupted t =
+  match t.cancel with
+  | Some flag when Atomic.get flag -> Some Cancelled
+  | _ -> (
+    match t.deadline_s with
+    | Some d when Metrics.now_s () >= d -> Some Deadline
+    | _ -> None)
+
+let check t ~conflicts ~propagations =
+  if exceeds t.max_conflicts conflicts then Some Conflicts
+  else if exceeds t.max_propagations propagations then Some Propagations
+  else interrupted t
+
+let reason_label = function
+  | Conflicts -> "conflicts"
+  | Propagations -> "propagations"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+
+let m_budget = Metrics.counter ~scope:"limits" "budget_exhausted"
+let m_deadline = Metrics.counter ~scope:"limits" "deadline_exceeded"
+let m_cancelled = Metrics.counter ~scope:"limits" "cancelled"
+
+let note = function
+  | Conflicts | Propagations -> Metrics.incr m_budget
+  | Deadline -> Metrics.incr m_deadline
+  | Cancelled -> Metrics.incr m_cancelled

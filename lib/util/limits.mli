@@ -1,0 +1,84 @@
+(** Resource budgets and cooperative cancellation for long-running
+    work.
+
+    A {!t} is an immutable bundle of optional limits threaded down
+    from a CLI or driver into the layers that loop: the SAT solver, the
+    methodology grow loop, the experiment sweeps. Each looping layer
+    polls {!check} (or the cheaper {!interrupted}) at its own safe
+    points and degrades to a partial result carrying the {!reason}
+    instead of running forever.
+
+    The limits split into two classes, mirroring the determinism
+    contract of {!Metrics}:
+
+    - {b Conflict and propagation budgets are deterministic.} They
+      count the solver's logical work, so a budgeted run aborts at the
+      same point on every machine and for every [--jobs] value.
+      Experiments and tests use only these.
+    - {b Wall deadlines and cancel flags are not.} They exist for the
+      interactive CLIs (a user-facing [--timeout], a SIGINT handler
+      flipping the flag); deterministic surfaces must never depend on
+      them.
+
+    When {!Metrics} collection is enabled, {!note} records every
+    budget stop under the ["limits"] scope ([budget_exhausted],
+    [deadline_exceeded], [cancelled]). *)
+
+type reason =
+  | Conflicts  (** the solver's conflict budget ran out *)
+  | Propagations  (** the solver's propagation budget ran out *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Cancelled  (** the cooperative cancel flag was raised *)
+
+type t
+
+val none : t
+(** No limits: {!check} and {!interrupted} always return [None]. The
+    default everywhere a [?limit] is accepted. *)
+
+val make :
+  ?max_conflicts:int ->
+  ?max_propagations:int ->
+  ?deadline_s:float ->
+  ?cancel:bool Atomic.t ->
+  unit ->
+  t
+(** [deadline_s] is an {e absolute} time on the {!Metrics.now_s}
+    clock; compute it as [Metrics.now_s () +. budget]. Omitted fields
+    are unlimited. *)
+
+val conflicts : int -> t
+(** [conflicts n] = [make ~max_conflicts:n ()] — the common case. *)
+
+val is_none : t -> bool
+(** [true] iff no limit of any kind is set. Loops use this to skip the
+    per-iteration poll entirely on the unlimited path. *)
+
+val new_cancel : unit -> bool Atomic.t
+(** A fresh cancel flag, initially unraised. Share one flag between a
+    signal handler and any number of [make ~cancel] values. *)
+
+val cancel : bool Atomic.t -> unit
+(** Raise the flag. Async-signal-safe (one atomic store). *)
+
+val cancelled : bool Atomic.t -> bool
+
+val check : t -> conflicts:int -> propagations:int -> reason option
+(** Poll every limit against the caller's {e per-call} work deltas.
+    Checks in a fixed order — [Conflicts], [Propagations], [Cancelled],
+    [Deadline] — so the reported reason is deterministic whenever the
+    deterministic budgets are the ones that trip. *)
+
+val interrupted : t -> reason option
+(** {!check} for loops with no solver counters: polls only the cancel
+    flag and the deadline. Cheap enough for per-iteration use. *)
+
+val reason_label : reason -> string
+(** ["conflicts"], ["propagations"], ["deadline"], ["cancelled"] —
+    stable strings for tables and JSON. *)
+
+val note : reason -> unit
+(** Bump the ["limits"] counter for a stop that is about to be
+    reported ([budget_exhausted] for the two deterministic reasons,
+    [deadline_exceeded], [cancelled]). Callers that surface a reason
+    should note it exactly once. *)

@@ -13,6 +13,8 @@ module Codesign = Rb_core.Codesign
 module Methodology = Rb_core.Methodology
 module Experiments = Rb_core.Experiments
 module Testgen = Rb_testsupport.Testgen
+module Limits = Rb_util.Limits
+module Checkpoint = Rb_util.Checkpoint
 
 (* The paper's Fig. 2 setting: 5 add operations over 2 cycles, 3 adder
    FUs, FU0 locks 'x' = (1,1), FU1 locks 'y' = (2,2). *)
@@ -369,7 +371,38 @@ let test_methodology_unreachable_target () =
   in
   Alcotest.(check bool) "reports failure" false plan.Methodology.meets_error_target;
   Alcotest.(check int) "exhausted budget" (Array.length candidates)
-    plan.Methodology.minterms_per_fu
+    plan.Methodology.minterms_per_fu;
+  Alcotest.(check bool) "an exhausted search is not a tripped limit" true
+    (plan.Methodology.stopped = None)
+
+let test_methodology_stops_on_cancel () =
+  let schedule, allocation, k, candidates = codesign_setting 36 in
+  let flag = Limits.new_cancel () in
+  Limits.cancel flag;
+  let plan =
+    Methodology.design k schedule allocation
+      ~limits:(Limits.make ~cancel:flag ())
+      ~scheme:Scheme.Sfll_rem ~locked_fus:[ 0 ] ~candidates
+      { Methodology.target_error_events = max_int; min_lambda = 1.0 }
+  in
+  Alcotest.(check bool) "plan carries the stop reason" true
+    (plan.Methodology.stopped = Some Limits.Cancelled);
+  (* The partial plan is still well-formed: it reflects the smallest
+     budget, not garbage. *)
+  Alcotest.(check bool) "budget evaluated at least once" true
+    (plan.Methodology.minterms_per_fu >= 1);
+  Alcotest.(check bool) "unmet target reported honestly" false
+    plan.Methodology.meets_error_target
+
+let test_methodology_unlimited_never_stopped () =
+  let schedule, allocation, k, candidates = codesign_setting 30 in
+  let plan =
+    Methodology.design k schedule allocation ~scheme:Scheme.Sfll_rem
+      ~locked_fus:[ 0 ] ~candidates
+      { Methodology.target_error_events = 1; min_lambda = 1.0 }
+  in
+  Alcotest.(check bool) "default limits never trip" true
+    (plan.Methodology.stopped = None)
 
 (* ------------------------------------------------------------ ablation *)
 
@@ -574,6 +607,78 @@ let test_experiments_overhead_fields () =
   Alcotest.(check bool) "power binder wins its own metric" true
     (ov.Experiments.power_switching <= ov.Experiments.obf_switching +. 1e-9)
 
+(* ------------------------------------------------- checkpointed sweeps *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "rb_sweep" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_sweep_journal_resume_identical () =
+  let ctx = small_context () in
+  let run ?journal () =
+    Experiments.sweep ?journal ~max_combos_per_config:30
+      ~max_optimal_assignments:2_000 ctx Dfg.Mul
+  in
+  let plain = run () in
+  with_temp_journal (fun path ->
+      let j = Checkpoint.create ~path ~resume:false in
+      let first = run ~journal:j () in
+      let chunks = Checkpoint.entries j in
+      Checkpoint.close j;
+      Alcotest.(check bool) "journaling changes nothing" true (first = plain);
+      Alcotest.(check bool) "chunks were journaled" true (chunks > 0);
+      (* Resume: every chunk replays from the journal, results are
+         byte-identical, and nothing new is appended. *)
+      let r = Checkpoint.create ~path ~resume:true in
+      Alcotest.(check int) "resume loads every chunk" chunks
+        (Checkpoint.entries r);
+      let resumed = run ~journal:r () in
+      Alcotest.(check bool) "resumed results identical" true (resumed = plain);
+      Alcotest.(check int) "no recomputed chunks appended" chunks
+        (Checkpoint.entries r);
+      Checkpoint.close r)
+
+let test_sweep_journal_tolerates_garbage_values () =
+  (* A journal value of the wrong shape must fall back to recomputing
+     the chunk, never crash or corrupt the results. *)
+  let ctx = small_context () in
+  let run ?journal () =
+    Experiments.sweep ?journal ~max_combos_per_config:20 ctx Dfg.Mul
+  in
+  let plain = run () in
+  with_temp_journal (fun path ->
+      let j = Checkpoint.create ~path ~resume:false in
+      ignore (run ~journal:j ());
+      Checkpoint.close j;
+      (* Corrupt every journaled value in place, keeping the keys. *)
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let oc = open_out path in
+      List.iter
+        (fun line ->
+          match Rb_util.Json.of_string line with
+          | Ok (Rb_util.Json.Obj [ ("k", k); ("v", _) ]) ->
+            output_string oc
+              (Rb_util.Json.to_string
+                 (Rb_util.Json.Obj
+                    [ ("k", k); ("v", Rb_util.Json.String "garbage") ]));
+            output_char oc '\n'
+          | _ -> ())
+        (List.rev !lines);
+      close_out oc;
+      let r = Checkpoint.create ~path ~resume:true in
+      let resumed = run ~journal:r () in
+      Checkpoint.close r;
+      Alcotest.(check bool) "garbage values fall back to recompute" true
+        (resumed = plain))
+
 (* ------------------------------------------------ security-aware binders *)
 
 module Binder = Rb_hls.Binder
@@ -711,6 +816,9 @@ let () =
           Alcotest.test_case "minimal budget" `Quick test_methodology_minimal_budget;
           Alcotest.test_case "grows budget" `Quick test_methodology_grows_budget;
           Alcotest.test_case "unreachable target" `Quick test_methodology_unreachable_target;
+          Alcotest.test_case "stops on cancel" `Quick test_methodology_stops_on_cancel;
+          Alcotest.test_case "unlimited never stopped" `Quick
+            test_methodology_unlimited_never_stopped;
         ] );
       ( "ablation",
         [
@@ -730,6 +838,10 @@ let () =
           Alcotest.test_case "quality" `Quick test_experiments_quality;
           Alcotest.test_case "post-binding" `Quick test_experiments_post_binding;
           Alcotest.test_case "overhead fields" `Quick test_experiments_overhead_fields;
+          Alcotest.test_case "journal resume identical" `Slow
+            test_sweep_journal_resume_identical;
+          Alcotest.test_case "journal garbage falls back" `Slow
+            test_sweep_journal_tolerates_garbage_values;
         ] );
       ( "binders",
         [

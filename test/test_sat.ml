@@ -5,6 +5,8 @@ module Netlist = Rb_netlist.Netlist
 module Circuits = Rb_netlist.Circuits
 module Lock = Rb_netlist.Lock
 module Rng = Rb_util.Rng
+module Limits = Rb_util.Limits
+module Faults = Rb_util.Faults
 
 (* ------------------------------------------------------------- solver *)
 
@@ -94,6 +96,69 @@ let test_stats_progress () =
   let st = Solver.stats s in
   Alcotest.(check bool) "searched" true (st.Solver.conflicts > 0 && st.Solver.propagations > 0)
 
+(* ----------------------------------------------------- solver budgets *)
+
+let test_solve_conflict_budget_unknown () =
+  (* php(7,6) costs far more than 10 conflicts; the budget must stop
+     the search instead of deciding. *)
+  let s = pigeonhole 7 6 in
+  (match Solver.solve ~limit:(Limits.conflicts 10) s with
+  | Solver.Unknown Limits.Conflicts -> ()
+  | Solver.Unknown _ -> Alcotest.fail "wrong reason"
+  | Solver.Sat | Solver.Unsat -> Alcotest.fail "10 conflicts cannot decide php(7,6)");
+  (* The solver stays usable: an unbudgeted re-solve still decides. *)
+  Alcotest.(check bool) "still decides without a limit" true
+    (Solver.solve s = Solver.Unsat)
+
+let test_solve_propagation_budget_unknown () =
+  let s = pigeonhole 7 6 in
+  match Solver.solve ~limit:(Limits.make ~max_propagations:5 ()) s with
+  | Solver.Unknown Limits.Propagations -> ()
+  | _ -> Alcotest.fail "propagation budget should trip first"
+
+let test_solve_budget_is_per_call () =
+  Faults.with_config None @@ fun () ->
+  (* Budgets meter each call's own work, not the solver's lifetime
+     totals: a budget that covers one full solve covers a repeat too. *)
+  let probe = pigeonhole 4 4 in
+  Alcotest.(check bool) "probe solves" true (Solver.solve probe = Solver.Sat);
+  let budget = (Solver.stats probe).Solver.conflicts + 1 in
+  let s = pigeonhole 4 4 in
+  let limit = Limits.conflicts budget in
+  Alcotest.(check bool) "first budgeted solve" true
+    (Solver.solve ~limit s = Solver.Sat);
+  Alcotest.(check bool) "second solve has a fresh budget" true
+    (Solver.solve ~limit s = Solver.Sat)
+
+let test_solve_cancelled () =
+  let flag = Limits.new_cancel () in
+  Limits.cancel flag;
+  let s = pigeonhole 5 4 in
+  match Solver.solve ~limit:(Limits.make ~cancel:flag ()) s with
+  | Solver.Unknown Limits.Cancelled -> ()
+  | _ -> Alcotest.fail "raised cancel flag should stop the solve"
+
+let test_solve_generous_budget_decides () =
+  Faults.with_config None @@ fun () ->
+  let s = pigeonhole 5 4 in
+  Alcotest.(check bool) "large budget changes nothing" true
+    (Solver.solve ~limit:(Limits.conflicts 10_000_000) s = Solver.Unsat)
+
+let test_solve_budget_fault_site () =
+  Faults.with_config
+    (Some { Faults.seed = 1; rate_per_mille = 1000; sites = [ "sat/budget" ] })
+    (fun () ->
+      let s = Solver.create () in
+      let v = Solver.new_var s in
+      Solver.add_clause s [ v ];
+      (* The site only arms budgeted solves: unlimited calls are never
+         perturbed, so ordinary tests survive the CI fault job. *)
+      Alcotest.(check bool) "unlimited solve untouched" true
+        (Solver.solve s = Solver.Sat);
+      match Solver.solve ~limit:(Limits.conflicts 1_000_000) s with
+      | Solver.Unknown Limits.Conflicts -> ()
+      | _ -> Alcotest.fail "injected budget exhaustion expected")
+
 let eval_clauses clauses value =
   List.for_all
     (fun c -> List.exists (fun l -> if l > 0 then value l else not (value (-l))) c)
@@ -158,7 +223,8 @@ let qcheck_solver_vs_brute_force =
       in
       match Solver.solve s with
       | Sat -> brute && eval_clauses clauses (fun v -> Solver.value s v)
-      | Unsat -> not brute)
+      | Unsat -> not brute
+      | Unknown _ -> false (* no limit passed: must decide *))
 
 (* ------------------------------------------------------------ tseitin *)
 
@@ -303,7 +369,8 @@ let test_attack_breaks_rll () =
   | Attack.Broken { key; iterations } ->
     Alcotest.(check bool) "few iterations" true (iterations < 64);
     Alcotest.(check bool) "functionally correct key" true (Attack.key_is_correct locked key)
-  | Attack.Budget_exceeded _ -> Alcotest.fail "RLL should fall quickly"
+  | Attack.Budget_exceeded _ | Attack.Solver_limit _ ->
+    Alcotest.fail "RLL should fall quickly"
 
 let test_attack_breaks_point_function () =
   let base = Circuits.adder ~width:3 in
@@ -314,14 +381,16 @@ let test_attack_breaks_point_function () =
     (* Point functions force many DIPs relative to RLL on the same
        circuit: each DIP eliminates few keys. *)
     Alcotest.(check bool) "needs multiple iterations" true (iterations >= 3)
-  | Attack.Budget_exceeded _ -> Alcotest.fail "should converge on 6-input circuit"
+  | Attack.Budget_exceeded _ | Attack.Solver_limit _ ->
+    Alcotest.fail "should converge on 6-input circuit"
 
 let test_attack_respects_budget () =
   let base = Circuits.adder ~width:3 in
   let locked = Lock.point_function ~minterms:[ 12; 19 ] base in
   match Attack.attack_locked ~max_iterations:1 locked with
   | Attack.Budget_exceeded { iterations } -> Alcotest.(check int) "stopped at 1" 1 iterations
-  | Attack.Broken _ -> Alcotest.fail "cannot converge in one iteration"
+  | Attack.Broken _ | Attack.Solver_limit _ ->
+    Alcotest.fail "cannot converge in one iteration"
 
 let test_attack_breaks_permnet () =
   let rng = Rng.create 17 in
@@ -330,7 +399,8 @@ let test_attack_breaks_permnet () =
   match Attack.attack_locked locked with
   | Attack.Broken { key; _ } ->
     Alcotest.(check bool) "key correct" true (Attack.key_is_correct locked key)
-  | Attack.Budget_exceeded _ -> Alcotest.fail "small permnet should fall"
+  | Attack.Budget_exceeded _ | Attack.Solver_limit _ ->
+    Alcotest.fail "small permnet should fall"
 
 let test_point_function_harder_than_rll () =
   (* The locked-input count / SAT-resilience trade-off, measured: RLL
@@ -342,8 +412,10 @@ let test_point_function_harder_than_rll () =
   let pf = Lock.point_function ~minterms:[ 44 ] base in
   let iters locked =
     match Attack.attack_locked locked with
-    | Attack.Broken { iterations; _ } -> iterations
-    | Attack.Budget_exceeded { iterations } -> iterations
+    | Attack.Broken { iterations; _ }
+    | Attack.Budget_exceeded { iterations }
+    | Attack.Solver_limit { iterations; _ } ->
+      iterations
   in
   Alcotest.(check bool) "pf needs at least as many DIPs" true (iters pf >= iters rll)
 
@@ -366,6 +438,48 @@ let test_approximate_attack_converges_on_rll () =
   Alcotest.(check bool) "recovered key correct" true
     (Attack.key_is_correct locked outcome.Attack.key)
 
+let test_approximate_attack_reports_non_convergence () =
+  (* One DIP cannot separate a two-minterm point function; the outcome
+     must say so rather than dress the partial key up as exact. *)
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 12; 19 ] base in
+  let outcome = Attack.approximate ~dip_budget:1 locked in
+  Alcotest.(check bool) "not converged" false outcome.Attack.converged;
+  Alcotest.(check int) "spent exactly the budget" 1 outcome.Attack.dip_iterations;
+  Alcotest.(check bool) "still returns a usable estimate" true
+    (outcome.Attack.estimated_error_rate >= 0.0
+    && outcome.Attack.estimated_error_rate <= 1.0);
+  Alcotest.(check int) "key has the right width"
+    (Array.length locked.Lock.correct_key)
+    (Array.length outcome.Attack.key)
+
+let test_attack_solver_limit () =
+  Faults.with_config None @@ fun () ->
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 12; 19 ] base in
+  (* A zero-conflict budget trips on the very first miter solve. *)
+  (match Attack.attack_locked ~limit:(Limits.conflicts 0) locked with
+  | Attack.Solver_limit { iterations; reason } ->
+    Alcotest.(check int) "no DIP completed" 0 iterations;
+    Alcotest.(check string) "reason" "conflicts" (Limits.reason_label reason)
+  | Attack.Broken _ | Attack.Budget_exceeded _ ->
+    Alcotest.fail "zero budget cannot complete a miter solve");
+  (* A generous budget leaves the attack's behaviour unchanged. *)
+  match Attack.attack_locked ~limit:(Limits.conflicts 10_000_000) locked with
+  | Attack.Broken { key; _ } ->
+    Alcotest.(check bool) "key correct under generous budget" true
+      (Attack.key_is_correct locked key)
+  | Attack.Budget_exceeded _ | Attack.Solver_limit _ ->
+    Alcotest.fail "generous budget should not interfere"
+
+let test_approximate_attack_solver_limit () =
+  Faults.with_config None @@ fun () ->
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 12; 19 ] base in
+  let outcome = Attack.approximate ~limit:(Limits.conflicts 0) locked in
+  Alcotest.(check bool) "budgeted-out approximate never claims exactness" false
+    outcome.Attack.converged
+
 let () =
   Alcotest.run "rb_sat"
     [
@@ -381,6 +495,21 @@ let () =
           Alcotest.test_case "assumptions" `Quick test_assumptions;
           Alcotest.test_case "unknown var" `Quick test_unknown_variable_rejected;
           Alcotest.test_case "stats" `Quick test_stats_progress;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "conflict budget yields Unknown" `Quick
+            test_solve_conflict_budget_unknown;
+          Alcotest.test_case "propagation budget yields Unknown" `Quick
+            test_solve_propagation_budget_unknown;
+          Alcotest.test_case "budget is per call" `Quick
+            test_solve_budget_is_per_call;
+          Alcotest.test_case "cancel flag stops the solve" `Quick
+            test_solve_cancelled;
+          Alcotest.test_case "generous budget decides" `Quick
+            test_solve_generous_budget_decides;
+          Alcotest.test_case "sat/budget fault site" `Quick
+            test_solve_budget_fault_site;
         ] );
       ( "tseitin",
         [
@@ -407,6 +536,12 @@ let () =
           Alcotest.test_case "trade-off measured" `Quick test_point_function_harder_than_rll;
           Alcotest.test_case "approximate on pf" `Quick test_approximate_attack_on_point_function;
           Alcotest.test_case "approximate on rll" `Quick test_approximate_attack_converges_on_rll;
+          Alcotest.test_case "approximate reports non-convergence" `Quick
+            test_approximate_attack_reports_non_convergence;
+          Alcotest.test_case "solver limit degrades gracefully" `Quick
+            test_attack_solver_limit;
+          Alcotest.test_case "approximate under solver limit" `Quick
+            test_approximate_attack_solver_limit;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -6,6 +6,9 @@ module Pool = Rb_util.Pool
 module Json = Rb_util.Json
 module Metrics = Rb_util.Metrics
 module Bench_diff = Rb_util.Bench_diff
+module Limits = Rb_util.Limits
+module Faults = Rb_util.Faults
+module Checkpoint = Rb_util.Checkpoint
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -444,8 +447,11 @@ let bench_doc sections =
              sections) );
     ]
 
-let diff ?wall_tol ?counter_tol a b =
-  match Bench_diff.compare_docs ?wall_tol ?counter_tol ~baseline:a ~current:b () with
+let diff ?wall_tol ?counter_tol ?allow_new a b =
+  match
+    Bench_diff.compare_docs ?wall_tol ?counter_tol ?allow_new ~baseline:a
+      ~current:b ()
+  with
   | Ok r -> r
   | Error msg -> Alcotest.fail msg
 
@@ -483,12 +489,30 @@ let test_diff_missing_metric () =
   in
   let cur = bench_doc [ ("fig6", 1.0, [ ("sat/solves", 10) ]) ] in
   Alcotest.(check bool) "dropped counter fails" true
-    (kinds (diff base cur) = [ Bench_diff.Missing_counter ]);
-  let r = diff cur base in
-  Alcotest.(check int) "extra counter is not a failure" 0
+    (kinds (diff base cur) = [ Bench_diff.Missing_counter ])
+
+let test_diff_new_counter () =
+  let base = bench_doc [ ("fig6", 1.0, [ ("sat/solves", 10) ]) ] in
+  let cur =
+    bench_doc [ ("fig6", 1.0, [ ("sat/solves", 10); ("faults/injected", 0) ]) ]
+  in
+  (* A counter absent from the baseline is a gate failure by default:
+     either the baseline is stale or behaviour silently grew. *)
+  Alcotest.(check bool) "new counter fails strict" true
+    (kinds (diff base cur) = [ Bench_diff.New_counter ]);
+  let r = diff ~allow_new:true base cur in
+  Alcotest.(check int) "--allow-new demotes to a note" 0
     (List.length r.Bench_diff.violations);
-  Alcotest.(check bool) "but is reported as an addition" true
+  Alcotest.(check bool) "still reported as an addition" true
     (r.Bench_diff.additions <> [])
+
+let test_diff_new_section_informational () =
+  let base = bench_doc [ ("fig6", 1.0, []) ] in
+  let cur = bench_doc [ ("fig6", 1.0, []); ("extra", 1.0, [ ("x/y", 1) ]) ] in
+  let r = diff base cur in
+  Alcotest.(check int) "whole new section never fails" 0
+    (List.length r.Bench_diff.violations);
+  Alcotest.(check bool) "noted as an addition" true (r.Bench_diff.additions <> [])
 
 let test_diff_missing_section () =
   let base = bench_doc [ ("fig6", 1.0, []); ("quality", 1.0, []) ] in
@@ -539,6 +563,343 @@ let test_json_parse_errors () =
         (match Json.of_string input with Error _ -> true | Ok _ -> false))
     [ ""; "{"; "[1,"; {|{"a" 1}|}; "tru"; "1 2"; {|"unterminated|};
       {|"\ud83d"|}; "[1,]"; "nan" ]
+
+let nested_list depth =
+  String.concat "" [ String.make depth '['; "1"; String.make depth ']' ]
+
+let test_json_depth_limit () =
+  (* The parser recurses per nesting level; the cap turns a potential
+     stack overflow on adversarial input into a parse error. *)
+  Alcotest.(check bool) "1000 levels parse" true
+    (match Json.of_string (nested_list 1000) with Ok _ -> true | Error _ -> false);
+  (match Json.of_string (nested_list 1001) with
+  | Ok _ -> Alcotest.fail "1001 levels should be rejected"
+  | Error msg ->
+    Alcotest.(check bool) "error names the depth cap" true
+      (contains ~affix:"nesting too deep" msg));
+  (* Objects count against the same budget as arrays. *)
+  let deep_obj depth =
+    String.concat ""
+      [ String.concat "" (List.init depth (fun _ -> {|{"a":|}));
+        "1"; String.make depth '}' ]
+  in
+  Alcotest.(check bool) "deep objects rejected too" true
+    (match Json.of_string (deep_obj 1500) with Error _ -> true | Ok _ -> false)
+
+(* --------------------------------------------------------------- Limits *)
+
+let reason =
+  Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (Limits.reason_label r))
+    ( = )
+
+let test_limits_none () =
+  Alcotest.(check bool) "none is none" true (Limits.is_none Limits.none);
+  Alcotest.(check bool) "conflicts is not none" false
+    (Limits.is_none (Limits.conflicts 5));
+  Alcotest.(check (option reason)) "none never trips" None
+    (Limits.check Limits.none ~conflicts:max_int ~propagations:max_int)
+
+let test_limits_budgets () =
+  let l = Limits.make ~max_conflicts:10 ~max_propagations:100 () in
+  Alcotest.(check (option reason)) "under budget" None
+    (Limits.check l ~conflicts:9 ~propagations:99);
+  Alcotest.(check (option reason)) "conflict budget trips at the bound"
+    (Some Limits.Conflicts)
+    (Limits.check l ~conflicts:10 ~propagations:0);
+  Alcotest.(check (option reason)) "propagation budget trips"
+    (Some Limits.Propagations)
+    (Limits.check l ~conflicts:0 ~propagations:100);
+  (* Fixed reporting order: conflicts win when both trip. *)
+  Alcotest.(check (option reason)) "conflicts reported first"
+    (Some Limits.Conflicts)
+    (Limits.check l ~conflicts:10 ~propagations:100)
+
+let test_limits_cancel () =
+  let flag = Limits.new_cancel () in
+  let l = Limits.make ~cancel:flag () in
+  Alcotest.(check (option reason)) "unraised flag" None (Limits.interrupted l);
+  Limits.cancel flag;
+  Alcotest.(check bool) "flag observable" true (Limits.cancelled flag);
+  Alcotest.(check (option reason)) "interrupted sees it"
+    (Some Limits.Cancelled) (Limits.interrupted l);
+  Alcotest.(check (option reason)) "check sees it too"
+    (Some Limits.Cancelled) (Limits.check l ~conflicts:0 ~propagations:0)
+
+let test_limits_deadline () =
+  let past = Limits.make ~deadline_s:0.0 () in
+  Alcotest.(check (option reason)) "past deadline trips"
+    (Some Limits.Deadline) (Limits.interrupted past);
+  let future = Limits.make ~deadline_s:(Metrics.now_s () +. 3600.0) () in
+  Alcotest.(check (option reason)) "future deadline does not" None
+    (Limits.interrupted future)
+
+let counter_at key snap =
+  match List.assoc_opt key snap.Metrics.counters with
+  | Some v -> v
+  | None -> Alcotest.fail (key ^ " not registered")
+
+let test_limits_notes_counters () =
+  with_metrics (fun () ->
+      Limits.note Limits.Conflicts;
+      Limits.note Limits.Propagations;
+      Limits.note Limits.Deadline;
+      Limits.note Limits.Cancelled;
+      let snap = Metrics.snapshot () in
+      Alcotest.(check int) "both deterministic reasons share one counter" 2
+        (counter_at "limits/budget_exhausted" snap);
+      Alcotest.(check int) "deadline" 1 (counter_at "limits/deadline_exceeded" snap);
+      Alcotest.(check int) "cancelled" 1 (counter_at "limits/cancelled" snap))
+
+(* --------------------------------------------------------------- Faults *)
+
+let fault_config ?(rate = 1000) ?(sites = []) seed =
+  Some { Faults.seed; rate_per_mille = rate; sites }
+
+let test_faults_disabled_by_default () =
+  Alcotest.(check bool) "off outside with_config" true
+    (Faults.config () = None || Sys.getenv_opt "RB_FAULT_SEED" <> None);
+  Faults.with_config None (fun () ->
+      Alcotest.(check bool) "never fires when off" false
+        (Faults.fire ~site:"pool/task" ~key:"0");
+      Faults.inject ~site:"pool/task" ~key:"0" (* must not raise *))
+
+let test_faults_deterministic () =
+  Faults.with_config (fault_config ~rate:500 11) (fun () ->
+      let decisions () =
+        List.init 64 (fun i -> Faults.fire ~site:"pool/task" ~key:(string_of_int i))
+      in
+      let first = decisions () in
+      Alcotest.(check (list bool)) "same config, same decisions" first
+        (decisions ());
+      Alcotest.(check bool) "rate 500 fires somewhere" true
+        (List.mem true first);
+      Alcotest.(check bool) "rate 500 spares somewhere" true
+        (List.mem false first));
+  let at seed =
+    Faults.with_config (fault_config ~rate:500 seed) (fun () ->
+        List.init 64 (fun i -> Faults.fire ~site:"pool/task" ~key:(string_of_int i)))
+  in
+  Alcotest.(check bool) "seed changes the decisions" true (at 11 <> at 12)
+
+let test_faults_rate_extremes () =
+  Faults.with_config (fault_config ~rate:0 7) (fun () ->
+      Alcotest.(check bool) "rate 0 never fires" false
+        (List.init 32 (fun i -> Faults.fire ~site:"s" ~key:(string_of_int i))
+        |> List.mem true));
+  Faults.with_config (fault_config ~rate:1000 7) (fun () ->
+      Alcotest.(check bool) "rate 1000 always fires" true
+        (List.init 32 (fun i -> Faults.fire ~site:"s" ~key:(string_of_int i))
+        |> List.for_all Fun.id))
+
+let test_faults_site_filter () =
+  Faults.with_config (fault_config ~rate:1000 ~sites:[ "pool/task" ] 3) (fun () ->
+      Alcotest.(check bool) "listed site fires" true
+        (Faults.fire ~site:"pool/task" ~key:"k");
+      Alcotest.(check bool) "other sites stay quiet" false
+        (Faults.fire ~site:"sat/budget" ~key:"k"))
+
+let test_faults_inject_payload () =
+  Faults.with_config (fault_config ~rate:1000 5) (fun () ->
+      Alcotest.check_raises "payload is site:key"
+        (Faults.Injected "pool/task:17") (fun () ->
+          Faults.inject ~site:"pool/task" ~key:"17"))
+
+let test_faults_with_config_restores () =
+  let outer = fault_config 1 in
+  Faults.with_config outer (fun () ->
+      (try Faults.with_config (fault_config 2) (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "restored after exception" true
+        (Faults.config () = outer));
+  ignore (Faults.with_config None (fun () -> ()))
+
+(* ---------------------------------------------------- Pool result maps *)
+
+let task_error =
+  Alcotest.testable
+    (fun fmt (e : Pool.task_error) ->
+      Format.fprintf fmt "{index=%d; attempts=%d; message=%s}" e.Pool.index
+        e.Pool.attempts e.Pool.message)
+    ( = )
+
+let result_int = Alcotest.(result int task_error)
+
+(* The non-fault tests pin injection off so they hold under the CI
+   fault job, which enables "pool/task" via the environment. *)
+let test_pool_map_result_ok () =
+  Faults.with_config None @@ fun () ->
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array result_int))
+        "all Ok, in index order"
+        (Array.init 20 (fun i -> Ok (i * i)))
+        (Pool.map_array_result pool ~f:(fun x -> x * x) (Array.init 20 Fun.id)))
+
+let test_pool_map_result_captures_errors () =
+  Faults.with_config None @@ fun () ->
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let results =
+        Pool.map_array_result pool
+          ~f:(fun i -> if i mod 3 = 0 then failwith "bad" else i)
+          (Array.init 10 Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          if i mod 3 = 0 then
+            match r with
+            | Error (e : Pool.task_error) ->
+              Alcotest.(check int) "error keeps its index" i e.Pool.index;
+              Alcotest.(check int) "no retries by default" 1 e.Pool.attempts;
+              Alcotest.(check bool) "message survives" true
+                (contains ~affix:"bad" e.Pool.message)
+            | Ok _ -> Alcotest.fail "expected failure"
+          else Alcotest.(check result_int) "success unchanged" (Ok i) r)
+        results)
+
+let test_pool_map_result_retries_recover () =
+  (* Injected pool faults fire on attempt 0 only, so one retry always
+     recovers every injected failure. *)
+  Faults.with_config (fault_config ~rate:1000 ~sites:[ "pool/task" ] 9) (fun () ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Alcotest.(check (array result_int))
+            "retries:1 absorbs all injections"
+            (Array.init 16 (fun i -> Ok i))
+            (Pool.map_array_result ~retries:1 pool ~f:Fun.id
+               (Array.init 16 Fun.id))))
+
+let test_pool_map_result_injected_errors () =
+  Faults.with_config (fault_config ~rate:400 ~sites:[ "pool/task" ] 21) (fun () ->
+      let expected =
+        Array.init 32 (fun i ->
+            if Faults.fire ~site:"pool/task" ~key:(string_of_int i) then
+              Error
+                {
+                  Pool.index = i;
+                  attempts = 1;
+                  message =
+                    Printexc.to_string
+                      (Faults.Injected ("pool/task:" ^ string_of_int i));
+                }
+            else Ok i)
+      in
+      Alcotest.(check bool) "config injects at least one fault" true
+        (Array.exists Result.is_error expected);
+      let run jobs =
+        Pool.with_pool ~jobs (fun pool ->
+            Pool.map_array_result pool ~f:Fun.id (Array.init 32 Fun.id))
+      in
+      Alcotest.(check (array result_int)) "errors exactly at fired keys" expected
+        (run 4);
+      Alcotest.(check (array result_int)) "jobs=1 = jobs=4" (run 1) (run 4))
+
+let test_pool_map_result_retry_counter () =
+  with_metrics (fun () ->
+      Faults.with_config (fault_config ~rate:1000 ~sites:[ "pool/task" ] 9)
+        (fun () ->
+          Pool.with_pool ~jobs:2 (fun pool ->
+              ignore
+                (Pool.map_array_result ~retries:2 pool ~f:Fun.id
+                   (Array.init 8 Fun.id))));
+      let snap = Metrics.snapshot () in
+      Alcotest.(check int) "every task injected once" 8
+        (counter_at "faults/injected" snap);
+      Alcotest.(check int)
+        "one retry per injected task, none burned on the recovered attempt" 8
+        (counter_at "faults/retries" snap))
+
+let test_pool_run_task_result_attempts () =
+  Faults.with_config None @@ fun () ->
+  let calls = ref 0 in
+  let r =
+    Pool.run_task_result ~retries:2 ~index:3 (fun () ->
+        incr calls;
+        failwith "always")
+  in
+  Alcotest.(check int) "initial try + 2 retries" 3 !calls;
+  match r with
+  | Error (e : Pool.task_error) ->
+    Alcotest.(check int) "attempts recorded" 3 e.Pool.attempts;
+    Alcotest.(check int) "index recorded" 3 e.Pool.index
+  | Ok _ -> Alcotest.fail "expected failure"
+
+(* ----------------------------------------------------------- Checkpoint *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "rb_ckpt" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_checkpoint_roundtrip () =
+  with_temp_journal (fun path ->
+      let j = Checkpoint.create ~path ~resume:false in
+      Alcotest.(check int) "fresh journal is empty" 0 (Checkpoint.entries j);
+      Checkpoint.record j "a" (Json.Int 1);
+      Checkpoint.record j "b" (Json.List [ Json.Int 2; Json.Int 3 ]);
+      Checkpoint.record j "a" (Json.Int 99) (* duplicate key: no-op *);
+      Alcotest.(check int) "two entries" 2 (Checkpoint.entries j);
+      Alcotest.(check bool) "duplicate record kept the first value" true
+        (Checkpoint.find j "a" = Some (Json.Int 1));
+      Checkpoint.close j;
+      let r = Checkpoint.create ~path ~resume:true in
+      Alcotest.(check int) "resume loads both" 2 (Checkpoint.entries r);
+      Alcotest.(check bool) "values survive" true
+        (Checkpoint.find r "b" = Some (Json.List [ Json.Int 2; Json.Int 3 ]));
+      Alcotest.(check bool) "missing key misses" true
+        (Checkpoint.find r "c" = None);
+      Checkpoint.close r)
+
+let test_checkpoint_truncate_without_resume () =
+  with_temp_journal (fun path ->
+      let j = Checkpoint.create ~path ~resume:false in
+      Checkpoint.record j "old" (Json.Int 1);
+      Checkpoint.close j;
+      let fresh = Checkpoint.create ~path ~resume:false in
+      Alcotest.(check int) "resume:false discards history" 0
+        (Checkpoint.entries fresh);
+      Checkpoint.close fresh)
+
+let test_checkpoint_torn_tail () =
+  with_temp_journal (fun path ->
+      let j = Checkpoint.create ~path ~resume:false in
+      Checkpoint.record j "a" (Json.Int 1);
+      Checkpoint.record j "b" (Json.Int 2);
+      Checkpoint.close j;
+      (* Simulate a crash mid-write: append half a record. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc {|{"k":"c","v":|};
+      close_out oc;
+      let r = Checkpoint.create ~path ~resume:true in
+      Alcotest.(check int) "torn tail dropped, intact prefix kept" 2
+        (Checkpoint.entries r);
+      (* The resumed journal can append past the torn line. *)
+      Checkpoint.record r "d" (Json.Int 4);
+      Checkpoint.close r;
+      let r2 = Checkpoint.create ~path ~resume:true in
+      (* The torn line still sits mid-file, so loading still stops
+         there — the journal guarantees at-most-lost-tail, not repair. *)
+      Alcotest.(check int) "second resume still sees the prefix" 2
+        (Checkpoint.entries r2);
+      Checkpoint.close r2)
+
+let test_checkpoint_skip_counter () =
+  with_temp_journal (fun path ->
+      with_metrics (fun () ->
+          let j = Checkpoint.create ~path ~resume:false in
+          Checkpoint.record j "a" (Json.Int 1);
+          ignore (Checkpoint.find j "a");
+          ignore (Checkpoint.find j "a");
+          ignore (Checkpoint.find j "nope");
+          Checkpoint.close j;
+          Alcotest.(check int) "hits counted, misses not" 2
+            (counter_at "limits/checkpoint_chunks_skipped" (Metrics.snapshot ()))))
+
+let test_checkpoint_flush_now_safe () =
+  with_temp_journal (fun path ->
+      let j = Checkpoint.create ~path ~resume:false in
+      Checkpoint.record j "a" (Json.Int 1);
+      Checkpoint.flush_now j;
+      Checkpoint.close j;
+      Checkpoint.flush_now j (* after close: still a no-op, not a crash *))
 
 (* --------------------------------------------------------------- QCheck *)
 
@@ -687,6 +1048,7 @@ let () =
           Alcotest.test_case "parse int vs float" `Quick
             test_json_parse_int_vs_float;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "nesting depth cap" `Quick test_json_depth_limit;
         ] );
       ( "metrics",
         [
@@ -716,6 +1078,55 @@ let () =
             test_diff_missing_section;
           Alcotest.test_case "malformed doc is an error" `Quick
             test_diff_malformed;
+          Alcotest.test_case "new counter strict vs --allow-new" `Quick
+            test_diff_new_counter;
+          Alcotest.test_case "new section is informational" `Quick
+            test_diff_new_section_informational;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "none" `Quick test_limits_none;
+          Alcotest.test_case "budgets" `Quick test_limits_budgets;
+          Alcotest.test_case "cancel flag" `Quick test_limits_cancel;
+          Alcotest.test_case "deadline" `Quick test_limits_deadline;
+          Alcotest.test_case "note counters" `Quick test_limits_notes_counters;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "disabled by default" `Quick
+            test_faults_disabled_by_default;
+          Alcotest.test_case "deterministic decisions" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "rate extremes" `Quick test_faults_rate_extremes;
+          Alcotest.test_case "site filter" `Quick test_faults_site_filter;
+          Alcotest.test_case "inject payload" `Quick test_faults_inject_payload;
+          Alcotest.test_case "with_config restores" `Quick
+            test_faults_with_config_restores;
+        ] );
+      ( "pool_result",
+        [
+          Alcotest.test_case "all Ok in order" `Quick test_pool_map_result_ok;
+          Alcotest.test_case "errors captured per task" `Quick
+            test_pool_map_result_captures_errors;
+          Alcotest.test_case "retries recover injections" `Quick
+            test_pool_map_result_retries_recover;
+          Alcotest.test_case "injected errors are deterministic" `Quick
+            test_pool_map_result_injected_errors;
+          Alcotest.test_case "retry counter" `Quick
+            test_pool_map_result_retry_counter;
+          Alcotest.test_case "attempts exhausted" `Quick
+            test_pool_run_task_result_attempts;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "record/find/resume round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "resume:false truncates" `Quick
+            test_checkpoint_truncate_without_resume;
+          Alcotest.test_case "torn tail tolerated" `Quick test_checkpoint_torn_tail;
+          Alcotest.test_case "skip counter" `Quick test_checkpoint_skip_counter;
+          Alcotest.test_case "flush_now after close" `Quick
+            test_checkpoint_flush_now_safe;
         ] );
       ( "rng",
         [
