@@ -56,6 +56,7 @@ module Lock = Rb_netlist.Lock
 module Circuits = Rb_netlist.Circuits
 module Netlist = Rb_netlist.Netlist
 module Attack = Rb_sat.Attack
+module Solver = Rb_sat.Solver
 module Table = Rb_util.Table
 module Rng = Rb_util.Rng
 module Pool = Rb_util.Pool
@@ -344,6 +345,105 @@ let sat_attack ~limit () =
      (conflicts) per iteration and gate overhead, not DIP count - why Sec. V-C\n\
      treats it as a costly top-up, not a primary scheme.\n"
 
+(* ------------------------------------------------------- solver-bench *)
+
+(* CDCL microbench: pinned CNF instances solved inline, never on the
+   pool. Random 3-SAT around the phase-transition ratio exercises the
+   search heuristics (VSIDS, restarts, phase saving); pigeonhole
+   instances force deep resolution proofs and so exercise conflict
+   analysis and the learnt database. Everything is generated from
+   fixed seeds and solved by the (deterministic) solver, so the table
+   of work counters is byte-identical on every machine and --jobs
+   value; wall-clock and propagations/second go to stderr and the
+   runtime gauges, where the perf gate and dashboards look for them. *)
+
+let add_random_3sat s rng ~nvars ~nclauses =
+  ignore (Solver.new_vars s nvars);
+  for _ = 1 to nclauses do
+    let rec pick_distinct () =
+      let a = 1 + Rng.int rng nvars in
+      let b = 1 + Rng.int rng nvars in
+      let c = 1 + Rng.int rng nvars in
+      if a = b || b = c || a = c then pick_distinct () else (a, b, c)
+    in
+    let a, b, c = pick_distinct () in
+    let sign x = if Rng.bool rng then x else -x in
+    Solver.add_clause s [ sign a; sign b; sign c ]
+  done
+
+(* [holes + 1] pigeons into [holes] holes: unsatisfiable, with only
+   exponential-size resolution proofs. Variable p*holes+h+1 means
+   "pigeon p sits in hole h". *)
+let add_pigeonhole s ~holes =
+  let pigeons = holes + 1 in
+  ignore (Solver.new_vars s (pigeons * holes));
+  let v p h = (p * holes) + h + 1 in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> v p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        Solver.add_clause s [ -v p h; -v q h ]
+      done
+    done
+  done
+
+let solver_bench () =
+  section
+    "CDCL solver microbench - pinned instances, inline; the table shows\n\
+     deterministic work counters only (wall-clock goes to stderr)";
+  let table =
+    Table.create ~title:"cdcl microbench (fixed seeds)"
+      ~columns:
+        [ "vars"; "verdict"; "decisions"; "conflicts"; "propagations";
+          "learned" ]
+  in
+  let case ~label build =
+    let s = Solver.create () in
+    build s;
+    let st0 = Solver.stats s in
+    let t0 = Metrics.now_s () in
+    let verdict =
+      match Solver.solve s with
+      | Solver.Sat -> "sat"
+      | Solver.Unsat -> "unsat"
+      | Solver.Unknown _ -> "unknown"
+    in
+    let wall = Metrics.now_s () -. t0 in
+    let st1 = Solver.stats s in
+    let d f = f st1 - f st0 in
+    let props = d (fun (st : Solver.stats) -> st.propagations) in
+    let props_per_s = if wall > 0. then float_of_int props /. wall else 0. in
+    Metrics.set_gauge
+      (Metrics.gauge ~scope:"runtime" ("solver-bench/" ^ label ^ " props-per-s"))
+      props_per_s;
+    Printf.eprintf "  %-34s %8.4f s %12.0f props/s
+" label wall props_per_s;
+    (* Clause count is not read back from the solver on purpose: the
+       generators above fix it, and unit/duplicate simplification at
+       add time is an implementation detail the table must not track. *)
+    Table.add_text_row table ~label
+      ~cells:
+        [
+          string_of_int (Solver.n_vars s);
+          verdict;
+          string_of_int (d (fun (st : Solver.stats) -> st.decisions));
+          string_of_int (d (fun (st : Solver.stats) -> st.conflicts));
+          string_of_int props;
+          string_of_int (d (fun (st : Solver.stats) -> st.learned));
+        ]
+  in
+  case ~label:"3-sat 150v r=4.1 seed=11" (fun s ->
+      add_random_3sat s (Rng.create 11) ~nvars:150 ~nclauses:615);
+  case ~label:"3-sat 180v r=4.26 seed=12" (fun s ->
+      add_random_3sat s (Rng.create 12) ~nvars:180 ~nclauses:767);
+  case ~label:"3-sat 130v r=5.0 seed=14" (fun s ->
+      add_random_3sat s (Rng.create 14) ~nvars:130 ~nclauses:650);
+  case ~label:"pigeonhole 7 into 6" (fun s -> add_pigeonhole s ~holes:6);
+  case ~label:"pigeonhole 8 into 7" (fun s -> add_pigeonhole s ~holes:7);
+  Table.print table
+
 (* ----------------------------------------------------------- methodology *)
 
 let methodology () =
@@ -470,8 +570,8 @@ let runtime () =
 (* ------------------------------------------------------------------ CLI *)
 
 let section_order =
-  [ "fig4"; "fig5"; "fig6"; "headline"; "eqn1"; "sat-attack"; "methodology";
-    "quality"; "postlock"; "ablation"; "runtime" ]
+  [ "fig4"; "fig5"; "fig6"; "headline"; "eqn1"; "sat-attack"; "solver-bench";
+    "methodology"; "quality"; "postlock"; "ablation"; "runtime" ]
 
 let usage () =
   Printf.eprintf
@@ -523,6 +623,17 @@ let parse_pos_int flag s =
 let split_sections s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
 let () =
+  (* Batch-throughput GC tuning. The attack sections allocate tens of
+     millions of minor words, and under OCaml 5 every minor collection
+     is a stop-the-world synchronisation of all domains — at the
+     default 256k-word minor heap that sync fires hundreds of times
+     and costs ~10% wall on the SAT-attack section alone. A 4M-word
+     minor heap (inherited by the worker domains) makes collections
+     ~30x rarer, and the looser space_overhead trades heap headroom
+     for less major-GC work. Determinism is untouched: GC pacing never
+     feeds anything printed to stdout. *)
+  Gc.set
+    { (Gc.get ()) with minor_heap_size = 4 * 1024 * 1024; space_overhead = 200 };
   let jobs = ref (Pool.default_jobs ()) in
   let requested = ref [] in
   let list_only = ref false in
@@ -633,6 +744,7 @@ let () =
         @ [
             ("eqn1", eqn1);
             ("sat-attack", sat_attack ~limit:attack_limit);
+            ("solver-bench", solver_bench);
             ("methodology", methodology);
             ("runtime", runtime);
           ]

@@ -1,0 +1,130 @@
+type t = {
+  mutable heap : int array; (* heap slot -> variable *)
+  mutable size : int;
+  mutable pos : int array; (* variable -> heap slot, -1 if absent *)
+  mutable act : float array; (* variable -> activity *)
+  mutable nvars : int;
+}
+
+let create () =
+  { heap = Array.make 8 0; size = 0; pos = Array.make 8 (-1); act = Array.make 8 0.0; nvars = 0 }
+
+let grow arr size default =
+  if Array.length arr >= size then arr
+  else begin
+    let bigger = Array.make (max size (2 * Array.length arr)) default in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let in_heap t v = v <= t.nvars && t.pos.(v) >= 0
+
+let swap t i j =
+  let vi = t.heap.(i) and vj = t.heap.(j) in
+  t.heap.(i) <- vj;
+  t.heap.(j) <- vi;
+  t.pos.(vj) <- i;
+  t.pos.(vi) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.act.(t.heap.(i)) > t.act.(t.heap.(parent)) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let r = l + 1 in
+    let child = if r < t.size && t.act.(t.heap.(r)) > t.act.(t.heap.(l)) then r else l in
+    if t.act.(t.heap.(child)) > t.act.(t.heap.(i)) then begin
+      swap t i child;
+      sift_down t child
+    end
+  end
+
+let insert t v =
+  if v < 1 || v > t.nvars then invalid_arg "Order_heap.insert";
+  if t.pos.(v) < 0 then begin
+    t.heap <- grow t.heap (t.size + 1) 0;
+    t.heap.(t.size) <- v;
+    t.pos.(v) <- t.size;
+    t.size <- t.size + 1;
+    sift_up t t.pos.(v)
+  end
+
+let ensure t v =
+  if v > t.nvars then begin
+    t.pos <- grow t.pos (v + 1) (-1);
+    t.act <- grow t.act (v + 1) 0.0;
+    let first = t.nvars + 1 in
+    t.nvars <- v;
+    for u = first to v do
+      t.pos.(u) <- -1;
+      t.act.(u) <- 0.0;
+      insert t u
+    done
+  end
+
+let pop t =
+  if t.size = 0 then 0
+  else begin
+    let v = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.pos.(v) <- -1;
+    if t.size > 0 then begin
+      let last = t.heap.(t.size) in
+      t.heap.(0) <- last;
+      t.pos.(last) <- 0;
+      sift_down t 0
+    end;
+    v
+  end
+
+let size t = t.size
+
+let activity t v =
+  if v < 1 || v > t.nvars then invalid_arg "Order_heap.activity";
+  t.act.(v)
+
+let bump t v amount =
+  if v < 1 || v > t.nvars then invalid_arg "Order_heap.bump";
+  t.act.(v) <- t.act.(v) +. amount;
+  if t.pos.(v) >= 0 then sift_up t t.pos.(v)
+
+let set_activity t v a =
+  if v < 1 || v > t.nvars then invalid_arg "Order_heap.set_activity";
+  let old = t.act.(v) in
+  t.act.(v) <- a;
+  if t.pos.(v) >= 0 then
+    if a > old then sift_up t t.pos.(v) else sift_down t t.pos.(v)
+
+let rebuild t =
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let rescale t factor =
+  for v = 1 to t.nvars do
+    t.act.(v) <- t.act.(v) *. factor
+  done;
+  rebuild t
+
+let valid t =
+  let ordered = ref true in
+  for i = 1 to t.size - 1 do
+    let parent = (i - 1) / 2 in
+    if t.act.(t.heap.(parent)) < t.act.(t.heap.(i)) then ordered := false
+  done;
+  let indexed = ref true in
+  for i = 0 to t.size - 1 do
+    if t.pos.(t.heap.(i)) <> i then indexed := false
+  done;
+  for v = 1 to t.nvars do
+    let p = t.pos.(v) in
+    if p >= 0 && (p >= t.size || t.heap.(p) <> v) then indexed := false
+  done;
+  !ordered && !indexed

@@ -1,0 +1,56 @@
+(** Indexed binary max-heap over variable activities — the VSIDS
+    branching order.
+
+    The solver's previous [pick_branch_var] scanned every variable on
+    every decision: O(nvars) per decision dwarfs the rest of the
+    search loop on the attack miters (thousands of variables, a
+    decision every few propagations). The order heap keeps unassigned
+    variables ordered by activity so a decision is an O(log n) pop,
+    and activity bumps are O(log n) sift-ups.
+
+    The heap owns the activity table: {!bump} both raises an activity
+    and restores heap order, and {!rescale} applies the VSIDS
+    overflow rescue to every variable and rebuilds. Variables are the
+    positive integers handed out by the solver; index 0 is unused. *)
+
+type t
+
+val create : unit -> t
+
+val ensure : t -> int -> unit
+(** [ensure t v] grows the tables to cover variables [1..v] (new
+    variables start at activity 0 and are inserted into the heap). *)
+
+val in_heap : t -> int -> bool
+
+val insert : t -> int -> unit
+(** Insert a variable; a no-op if it is already present. *)
+
+val pop : t -> int
+(** Remove and return the maximum-activity variable; 0 when empty.
+    Ties are broken by heap layout, which is deterministic for a
+    deterministic operation sequence. *)
+
+val size : t -> int
+
+val activity : t -> int -> float
+
+val bump : t -> int -> float -> unit
+(** Add to a variable's activity and sift it up if it is in the heap.
+    The solver checks {!activity} afterwards to trigger {!rescale}. *)
+
+val set_activity : t -> int -> float -> unit
+(** Overwrite an activity and restore heap order whichever way it
+    moved (sift up on increase, down on decrease). *)
+
+val rescale : t -> float -> unit
+(** Multiply every activity by a factor and rebuild the heap — the
+    1e-100 overflow rescue. *)
+
+val rebuild : t -> unit
+(** Re-establish the heap invariant from the current activities (used
+    after bulk activity edits; {!rescale} calls it internally). *)
+
+val valid : t -> bool
+(** Invariant check for tests: every parent's activity >= its
+    children's, and the position index matches the heap array. *)

@@ -1,5 +1,6 @@
 module Limits = Rb_util.Limits
 module Faults = Rb_util.Faults
+module Veci = Rb_util.Veci
 
 type result = Sat | Unsat | Unknown of Limits.reason
 
@@ -15,16 +16,50 @@ type stats = {
    literal -v -> 2v+1. *)
 let lidx lit = if lit > 0 then 2 * lit else (2 * -lit) + 1
 
+(* Watch lists are flat int vectors, one packed int per watcher:
+   clause tag in the high bits (arithmetic shifts keep its sign), the
+   blocker literal biased into the low 22 bits. The blocker is some
+   literal of the clause (kept best-effort up to date); when it is
+   already true the propagation loop skips the clause after one int
+   load and one byte load — the common case on the attack miters,
+   where most watched clauses are satisfied by earlier assignments.
+
+   Binary clauses get a fully inlined fast path: their tag is the
+   negative [-ci - 1], and the blocker is the clause's other literal.
+   Propagating one never touches the clause array — the blocker value
+   alone decides between skip, enqueue and conflict. Tseitin gate
+   encodings are roughly half binary clauses, so this halves the
+   pointer chasing of the hot loop. *)
+let blocker_bits = 22
+let blocker_bias = 1 lsl (blocker_bits - 1)
+let blocker_mask = (1 lsl blocker_bits) - 1
+let max_vars = blocker_bias - 1
+let pack_watch tag blocker = (tag lsl blocker_bits) lor (blocker + blocker_bias)
+let watch_tag p = p asr blocker_bits
+let watch_blocker p = (p land blocker_mask) - blocker_bias
+let binary_tag ci = -ci - 1
+
+(* Clauses live in one flat int arena: a header word (length in the
+   low bits, LBD above), then the literals. A clause reference is the
+   header's offset — watchers, reasons and the learnt index all store
+   offsets, so visiting a clause is one load in a single hot array
+   instead of a chase through an array of arrays, and clauses pushed
+   together (e.g. one Tseitin gate) share cache lines. Removed clauses
+   leave their words behind as tombstones (header zeroed); the waste
+   is bounded by the reduction budget and far cheaper than rewriting
+   every stored reference to compact. *)
+let hdr_len_bits = 21 (* max_vars < 2^21 bounds any clause length *)
+let hdr_len_mask = (1 lsl hdr_len_bits) - 1
+
 type t = {
   mutable nvars : int;
-  mutable clauses : int array array;
-  mutable n_clauses : int;
-  mutable watches : int list array; (* lidx -> clause indices *)
-  mutable values : int array; (* var -> -1 unassigned / 0 false / 1 true *)
+  arena : Veci.t; (* flat clause storage: header word, then literals *)
+  mutable watches : Veci.t array; (* lidx -> (ci, blocker) pairs *)
+  mutable assign : Bytes.t; (* lidx -> 0 false / 1 true / 2 unassigned *)
   mutable level : int array;
   mutable reason : int array; (* var -> clause index or -1 *)
   mutable phase : bool array;
-  mutable activity : float array;
+  order : Order_heap.t; (* VSIDS branching order; owns activities *)
   mutable var_inc : float;
   mutable trail : int array; (* assigned literals in order *)
   mutable trail_size : int;
@@ -33,25 +68,43 @@ type t = {
   mutable qhead : int;
   mutable root_unsat : bool;
   mutable seen : bool array;
+  mutable lbd_mark : int array; (* level -> lbd_stamp, for LBD counting *)
+  mutable lbd_stamp : int;
+  learnts : Veci.t; (* indices of live learnt clauses *)
+  learnt_buf : Veci.t; (* scratch: tail of the clause being learnt *)
+  mutable conflicts_since_reduce : int;
+  mutable reduce_limit : int;
   mutable s_decisions : int;
   mutable s_conflicts : int;
   mutable s_propagations : int;
   mutable s_restarts : int;
   mutable s_learned : int;
+  mutable s_reduces : int;
+  mutable s_removed : int;
   mutable s_solves : int;
 }
+
+(* Learnt-DB reduction cadence (Glucose-style): first pass after
+   [reduce_first] conflicts, each subsequent interval [reduce_inc]
+   conflicts longer. Both counts are logical work, so reductions land
+   at the same point on every machine and --jobs value. *)
+let reduce_first = 2000
+let reduce_inc = 300
+
+(* Luby restart unit: restart k allows [luby k * restart_base]
+   conflicts. *)
+let restart_base = 100
 
 let create () =
   {
     nvars = 0;
-    clauses = Array.make 64 [||];
-    n_clauses = 0;
-    watches = Array.make 16 [];
-    values = Array.make 8 (-1);
+    arena = Veci.create ~cap:256 ();
+    watches = Array.init 16 (fun _ -> Veci.create ());
+    assign = Bytes.make 16 '\002';
     level = Array.make 8 0;
     reason = Array.make 8 (-1);
     phase = Array.make 8 false;
-    activity = Array.make 8 0.0;
+    order = Order_heap.create ();
     var_inc = 1.0;
     trail = Array.make 8 0;
     trail_size = 0;
@@ -60,15 +113,23 @@ let create () =
     qhead = 0;
     root_unsat = false;
     seen = Array.make 8 false;
+    lbd_mark = Array.make 8 0;
+    lbd_stamp = 0;
+    learnts = Veci.create ();
+    learnt_buf = Veci.create ();
+    conflicts_since_reduce = 0;
+    reduce_limit = reduce_first;
     s_decisions = 0;
     s_conflicts = 0;
     s_propagations = 0;
     s_restarts = 0;
     s_learned = 0;
+    s_reduces = 0;
+    s_removed = 0;
     s_solves = 0;
   }
 
-let grow_int_array arr size default =
+let grow arr size default =
   if Array.length arr >= size then arr
   else begin
     let bigger = Array.make (max size (2 * Array.length arr)) default in
@@ -76,27 +137,41 @@ let grow_int_array arr size default =
     bigger
   end
 
-let grow_generic arr size default =
-  if Array.length arr >= size then arr
+let grow_bytes b size default =
+  if Bytes.length b >= size then b
   else begin
-    let bigger = Array.make (max size (2 * Array.length arr)) default in
-    Array.blit arr 0 bigger 0 (Array.length arr);
+    let bigger = Bytes.make (max size (2 * Bytes.length b)) default in
+    Bytes.blit b 0 bigger 0 (Bytes.length b);
     bigger
+  end
+
+let grow_watches s size =
+  if Array.length s.watches < size then begin
+    let old = Array.length s.watches in
+    let bigger =
+      Array.init (max size (2 * old)) (fun i ->
+          if i < old then s.watches.(i) else Veci.create ())
+    in
+    s.watches <- bigger
   end
 
 let new_var s =
+  if s.nvars >= max_vars then
+    invalid_arg "Solver.new_var: variable does not fit in a packed watch entry";
   s.nvars <- s.nvars + 1;
   let v = s.nvars in
   let cap = v + 1 in
-  s.values <- grow_int_array s.values cap (-1);
-  s.level <- grow_int_array s.level cap 0;
-  s.reason <- grow_int_array s.reason cap (-1);
-  s.phase <- grow_generic s.phase cap false;
-  s.activity <- grow_generic s.activity cap 0.0;
-  s.seen <- grow_generic s.seen cap false;
-  s.trail <- grow_int_array s.trail (v + 1) 0;
-  s.watches <- grow_generic s.watches ((2 * cap) + 2) [];
-  s.values.(v) <- -1;
+  s.assign <- grow_bytes s.assign ((2 * cap) + 2) '\002';
+  s.level <- grow s.level cap 0;
+  s.reason <- grow s.reason cap (-1);
+  s.phase <- grow s.phase cap false;
+  s.seen <- grow s.seen cap false;
+  s.lbd_mark <- grow s.lbd_mark cap 0;
+  s.trail <- grow s.trail (v + 1) 0;
+  grow_watches s ((2 * cap) + 2);
+  Order_heap.ensure s.order v;
+  Bytes.unsafe_set s.assign (2 * v) '\002';
+  Bytes.unsafe_set s.assign ((2 * v) + 1) '\002';
   s.reason.(v) <- -1;
   v
 
@@ -110,37 +185,68 @@ let new_vars s n =
 
 let n_vars s = s.nvars
 
-let lit_value s lit =
-  let v = s.values.(abs lit) in
-  if v = -1 then -1 else if lit > 0 then v else 1 - v
+(* Truth values live in a byte array indexed by literal (both
+   polarities stored), so the hot loops read one byte per query — no
+   sign branch, and an 8x denser cache footprint than an int array.
+   Codes: 0 = false, 1 = true, 2 = unassigned. *)
+let lit_value s lit = Char.code (Bytes.unsafe_get s.assign (lidx lit))
+let var_assigned s v = Bytes.unsafe_get s.assign (2 * v) <> '\002'
+let var_true s v = Bytes.unsafe_get s.assign (2 * v) = '\001'
 
 let current_level s = s.n_levels
 
 let enqueue s lit reason_idx =
   let v = abs lit in
-  s.values.(v) <- (if lit > 0 then 1 else 0);
+  let t, f = if lit > 0 then '\001', '\000' else '\000', '\001' in
+  Bytes.unsafe_set s.assign (2 * v) t;
+  Bytes.unsafe_set s.assign ((2 * v) + 1) f;
   s.level.(v) <- current_level s;
   s.reason.(v) <- reason_idx;
   s.trail.(s.trail_size) <- lit;
   s.trail_size <- s.trail_size + 1
 
+let cls_len s cr = Veci.unsafe_get s.arena cr land hdr_len_mask
+let cls_lbd s cr = Veci.unsafe_get s.arena cr lsr hdr_len_bits
+let cls_lit s cr i = Veci.unsafe_get s.arena (cr + 1 + i)
+
+(* Append a clause to the arena (LBD 0); returns its reference. *)
 let push_clause s arr =
-  if s.n_clauses = Array.length s.clauses then begin
-    let bigger = Array.make (2 * Array.length s.clauses) [||] in
-    Array.blit s.clauses 0 bigger 0 s.n_clauses;
-    s.clauses <- bigger
-  end;
-  s.clauses.(s.n_clauses) <- arr;
-  s.n_clauses <- s.n_clauses + 1;
-  s.n_clauses - 1
+  let cr = Veci.length s.arena in
+  Veci.push s.arena (Array.length arr);
+  Array.iter (fun l -> Veci.push s.arena l) arr;
+  cr
 
-let watch s lit ci = s.watches.(lidx lit) <- ci :: s.watches.(lidx lit)
+let watch s lit tag blocker = Veci.push s.watches.(lidx lit) (pack_watch tag blocker)
 
-(* Attach a clause of length >= 2: watch the first two literals. *)
-let attach s ci =
-  let c = s.clauses.(ci) in
-  watch s c.(0) ci;
-  watch s c.(1) ci
+(* Attach a clause of length >= 2: watch the first two literals, each
+   with the other as blocker. Binary clauses are watched in tagged
+   form and never move their watches afterwards. *)
+let attach s cr =
+  let l0 = cls_lit s cr 0 and l1 = cls_lit s cr 1 in
+  let tag = if cls_len s cr = 2 then binary_tag cr else cr in
+  watch s l0 tag l1;
+  watch s l1 tag l0
+
+(* Remove one watcher of clause [ci] — order is irrelevant, so the
+   last entry is moved into the hole. *)
+let unwatch s lit ci =
+  let wl = s.watches.(lidx lit) in
+  let n = Veci.length wl in
+  let rec find i =
+    if i >= n then ()
+    else if watch_tag (Veci.unsafe_get wl i) = ci then begin
+      Veci.unsafe_set wl i (Veci.unsafe_get wl (n - 1));
+      Veci.truncate wl (n - 1)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* Order literals by variable (sign breaks ties) so duplicate literals
+   and complementary pairs sit adjacent — the tautology/duplicate
+   check is then one linear scan instead of List.mem per literal. *)
+let lit_order a b =
+  match Int.compare (abs a) (abs b) with 0 -> Int.compare a b | c -> c
 
 let add_clause s lits =
   List.iter
@@ -150,96 +256,175 @@ let add_clause s lits =
     lits;
   if not s.root_unsat then begin
     assert (current_level s = 0);
-    (* Simplify at level 0: drop falsified literals, detect tautology
-       and satisfied clauses. *)
-    let lits = List.sort_uniq Int.compare lits in
-    let tautology = List.exists (fun l -> List.mem (-l) lits) lits in
-    let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
-    if not (tautology || satisfied) then begin
-      let active = List.filter (fun l -> lit_value s l = -1) lits in
-      match active with
-      | [] -> s.root_unsat <- true
-      | [ unit_lit ] ->
-        enqueue s unit_lit (-1)
+    (* Simplify at level 0 with one in-place pass over a sorted array:
+       adjacent duplicates collapse, an adjacent complementary pair
+       means tautology, satisfied/falsified literals resolve against
+       the root assignment. The write cursor [w] compacts surviving
+       literals into the same array, so a clean clause costs exactly
+       one array allocation. *)
+    let arr = Array.of_list lits in
+    Array.sort lit_order arr;
+    let n = Array.length arr in
+    let w = ref 0 in
+    let i = ref 0 in
+    let tautology = ref false in
+    let satisfied = ref false in
+    while (not !tautology) && (not !satisfied) && !i < n do
+      let l = arr.(!i) in
+      if !i + 1 < n && abs arr.(!i + 1) = abs l then
+        if arr.(!i + 1) = l then incr i (* duplicate: keep the later copy *)
+        else tautology := true (* v next to -v *)
+      else begin
+        (match lit_value s l with
+        | 1 -> satisfied := true
+        | 2 ->
+          arr.(!w) <- l;
+          incr w
+        | _ -> () (* falsified at level 0: drop *));
+        incr i
+      end
+    done;
+    if (not !tautology) && not !satisfied then
+      match !w with
+      | 0 -> s.root_unsat <- true
+      | 1 ->
+        enqueue s arr.(0) (-1)
         (* propagation happens at the start of the next solve *)
-      | first :: second :: _ ->
-        let arr = Array.of_list active in
-        (* Put two unassigned literals first (all are unassigned here). *)
-        ignore first;
-        ignore second;
+      | w ->
+        let arr = if w = n then arr else Array.sub arr 0 w in
         let ci = push_clause s arr in
         attach s ci
-    end
   end
 
-let var_decay = 1.0 /. 0.95
+let var_decay = 1.0 /. 0.92
 
 let bump_var s v =
-  s.activity.(v) <- s.activity.(v) +. s.var_inc;
-  if s.activity.(v) > 1e100 then begin
-    for i = 1 to s.nvars do
-      s.activity.(i) <- s.activity.(i) *. 1e-100
-    done;
+  Order_heap.bump s.order v s.var_inc;
+  if Order_heap.activity s.order v > 1e100 then begin
+    Order_heap.rescale s.order 1e-100;
     s.var_inc <- s.var_inc *. 1e-100
   end
 
 let decay_activity s = s.var_inc <- s.var_inc *. var_decay
 
-(* Two-watched-literal unit propagation. Returns the index of a
-   conflicting clause, or -1. *)
+(* Two-watched-literal unit propagation over the flat lists. Returns
+   the index of a conflicting clause, or -1. The loop compacts each
+   list in place (read cursor [i], write cursor [j]); entries moved to
+   another clause's watch list are simply not copied forward.
+
+   The scanned list's backing array is let-bound once per literal:
+   nothing pushes onto the list being scanned (a replacement watch
+   always lands on a different literal's list), so the alias stays
+   valid and saves a pointer reload per entry. *)
 let propagate s =
+  let assign = s.assign in
+  let level = s.level in
+  let arena = Veci.unsafe_data s.arena in
   let conflict = ref (-1) in
   while !conflict = -1 && s.qhead < s.trail_size do
-    let lit = s.trail.(s.qhead) in
+    let lit = Array.unsafe_get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.s_propagations <- s.s_propagations + 1;
     let false_lit = -lit in
-    let wl = s.watches.(lidx false_lit) in
-    s.watches.(lidx false_lit) <- [];
-    let rec process = function
-      | [] -> ()
-      | ci :: rest ->
-        let c = s.clauses.(ci) in
-        (* Normalize: the falsified watch sits at c.(1). *)
-        if c.(0) = false_lit then begin
-          c.(0) <- c.(1);
-          c.(1) <- false_lit
-        end;
-        if lit_value s c.(0) = 1 then begin
-          (* Clause already satisfied; keep watching false_lit. *)
-          s.watches.(lidx false_lit) <- ci :: s.watches.(lidx false_lit);
-          process rest
+    let wl = Array.unsafe_get s.watches (lidx false_lit) in
+    let w = Veci.unsafe_data wl in
+    let n = Veci.length wl in
+    let i = ref 0 in
+    let j = ref 0 in
+    while !i < n do
+      let entry = Array.unsafe_get w !i in
+      let blocker = watch_blocker entry in
+      incr i;
+      let bli = lidx blocker in
+      if Char.code (Bytes.unsafe_get assign bli) = 1 then begin
+        (* Satisfied via the blocker. Level-0 assignments are never
+           undone, so a clause satisfied there is satisfied forever:
+           drop its watcher instead of rescanning it every visit. The
+           attack miters make this essential — key variables are
+           shared by every accumulated observation copy, and without
+           the pruning their watch lists (scanned on each key
+           decision) grow linearly with the number of DIPs. *)
+        if Array.unsafe_get level (bli lsr 1) = 0 then ()
+        else begin
+          Array.unsafe_set w !j entry;
+          incr j
+        end
+      end
+      else begin
+        let tag = watch_tag entry in
+        if tag < 0 then begin
+          (* Binary clause: the blocker IS the other literal, so its
+             value alone decides — no clause dereference. *)
+          let cr = binary_tag tag in
+          Array.unsafe_set w !j entry;
+          incr j;
+          if Char.code (Bytes.unsafe_get assign (lidx blocker)) = 0 then begin
+            while !i < n do
+              Array.unsafe_set w !j (Array.unsafe_get w !i);
+              incr i;
+              incr j
+            done;
+            conflict := cr
+          end
+          else enqueue s blocker cr
         end
         else begin
-          (* Look for a replacement watch. *)
-          let len = Array.length c in
-          let rec find i = if i >= len then -1 else if lit_value s c.(i) <> 0 then i else find (i + 1) in
-          let j = find 2 in
-          if j >= 0 then begin
-            c.(1) <- c.(j);
-            c.(j) <- false_lit;
-            watch s c.(1) ci;
-            process rest
+          let cr = tag in
+          let base = cr + 1 in
+          (* Normalize: the falsified watch sits in slot 1. *)
+          if Array.unsafe_get arena base = false_lit then begin
+            Array.unsafe_set arena base (Array.unsafe_get arena (base + 1));
+            Array.unsafe_set arena (base + 1) false_lit
+          end;
+          let first = Array.unsafe_get arena base in
+          let first_value = Char.code (Bytes.unsafe_get assign (lidx first)) in
+          if first <> blocker && first_value = 1 then begin
+            (* Satisfied by the other watch. Drop the watcher if that
+               holds at level 0 (permanent); else it becomes the
+               blocker. *)
+            if Array.unsafe_get level (lidx first lsr 1) = 0 then ()
+            else begin
+              Array.unsafe_set w !j (pack_watch cr first);
+              incr j
+            end
           end
           else begin
-            (* Unit or conflicting. *)
-            s.watches.(lidx false_lit) <- ci :: s.watches.(lidx false_lit);
-            if lit_value s c.(0) = 0 then begin
-              (* Conflict: restore remaining watches and bail. *)
-              List.iter
-                (fun ci' ->
-                  s.watches.(lidx false_lit) <- ci' :: s.watches.(lidx false_lit))
-                rest;
-              conflict := ci
+            (* Look for a replacement watch. *)
+            let len = Array.unsafe_get arena cr land hdr_len_mask in
+            let k = ref 2 in
+            while
+              !k < len
+              && Char.code
+                   (Bytes.unsafe_get assign (lidx (Array.unsafe_get arena (base + !k))))
+                 = 0
+            do
+              incr k
+            done;
+            if !k < len then begin
+              Array.unsafe_set arena (base + 1) (Array.unsafe_get arena (base + !k));
+              Array.unsafe_set arena (base + !k) false_lit;
+              watch s (Array.unsafe_get arena (base + 1)) cr first
             end
             else begin
-              enqueue s c.(0) ci;
-              process rest
+              (* Unit or conflicting: keep watching false_lit. *)
+              Array.unsafe_set w !j (pack_watch cr first);
+              incr j;
+              if first_value = 0 then begin
+                (* Conflict: keep the remaining entries and bail. *)
+                while !i < n do
+                  Array.unsafe_set w !j (Array.unsafe_get w !i);
+                  incr i;
+                  incr j
+                done;
+                conflict := cr
+              end
+              else enqueue s first cr
             end
           end
         end
-    in
-    process wl
+      end
+    done;
+    Veci.truncate wl !j
   done;
   !conflict
 
@@ -248,9 +433,11 @@ let backtrack s target_level =
     let bound = s.trail_lim.(target_level) in
     for i = s.trail_size - 1 downto bound do
       let v = abs s.trail.(i) in
-      s.phase.(v) <- s.values.(v) = 1;
-      s.values.(v) <- -1;
-      s.reason.(v) <- -1
+      s.phase.(v) <- var_true s v;
+      Bytes.unsafe_set s.assign (2 * v) '\002';
+      Bytes.unsafe_set s.assign ((2 * v) + 1) '\002';
+      s.reason.(v) <- -1;
+      Order_heap.insert s.order v
     done;
     s.trail_size <- bound;
     s.qhead <- bound;
@@ -258,30 +445,53 @@ let backtrack s target_level =
   end
 
 let new_decision_level s =
-  s.trail_lim <- grow_int_array s.trail_lim (s.n_levels + 1) 0;
+  s.trail_lim <- grow s.trail_lim (s.n_levels + 1) 0;
   s.trail_lim.(s.n_levels) <- s.trail_size;
   s.n_levels <- s.n_levels + 1
 
-(* First-UIP conflict analysis. Returns (learnt clause with the
-   asserting literal first, backjump level). *)
+(* Literal-block distance: number of distinct decision levels in a
+   learnt clause (Glucose). Low-LBD ("glue") clauses connect few
+   levels and keep proving useful; high-LBD clauses are the first to
+   go when the database is reduced. *)
+let compute_lbd s lits =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let distinct = ref 0 in
+  Veci.iter
+    (fun q ->
+      let lv = s.level.(abs q) in
+      if s.lbd_mark.(lv) <> stamp then begin
+        s.lbd_mark.(lv) <- stamp;
+        incr distinct
+      end)
+    lits;
+  !distinct
+
+(* First-UIP conflict analysis. Returns (asserting literal, backjump
+   level); the rest of the learnt clause is left in [s.learnt_buf] in
+   discovery order for {!record_learnt} to consume. *)
 let analyze s confl =
-  let learnt = ref [] in
+  Veci.clear s.learnt_buf;
+  let arena = Veci.unsafe_data s.arena in
   let counter = ref 0 in
   let p = ref 0 in
   let index = ref (s.trail_size - 1) in
   let clause_idx = ref confl in
   let finished = ref false in
   while not !finished do
-    let c = s.clauses.(!clause_idx) in
-    let start = if !p = 0 then 0 else 1 in
-    for i = start to Array.length c - 1 do
-      let q = c.(i) in
+    let cr = !clause_idx in
+    let len = Array.unsafe_get arena cr land hdr_len_mask in
+    (* Skip the literal being resolved on by value, not position:
+       binary reason clauses are never rearranged by propagation, so
+       the propagated literal is not guaranteed to sit in slot 0. *)
+    for i = 1 to len do
+      let q = Array.unsafe_get arena (cr + i) in
       let v = abs q in
-      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+      if q <> !p && (not s.seen.(v)) && s.level.(v) > 0 then begin
         s.seen.(v) <- true;
         bump_var s v;
         if s.level.(v) >= current_level s then incr counter
-        else learnt := q :: !learnt
+        else Veci.push s.learnt_buf q
       end
     done;
     (* Select the next literal on the trail to resolve on. *)
@@ -300,24 +510,32 @@ let analyze s confl =
     end
   done;
   let asserting = - !p in
-  let tail = !learnt in
-  List.iter (fun q -> s.seen.(abs q) <- false) tail;
-  let backjump =
-    List.fold_left (fun acc q -> max acc s.level.(abs q)) 0 tail
-  in
-  (asserting :: tail, backjump)
+  let backjump = ref 0 in
+  Veci.iter
+    (fun q ->
+      s.seen.(abs q) <- false;
+      if s.level.(abs q) > !backjump then backjump := s.level.(abs q))
+    s.learnt_buf;
+  (asserting, !backjump)
 
-(* Install a learnt clause: asserting literal first, a literal from the
+(* Install the clause learnt by {!analyze} (asserting literal plus
+   [s.learnt_buf]): asserting literal first, a literal from the
    backjump level second (required for correct watching). *)
-let record_learnt s learnt backjump =
-  match learnt with
-  | [] -> assert false
-  | [ lit ] ->
+let record_learnt s asserting backjump =
+  let nb = Veci.length s.learnt_buf in
+  if nb = 0 then begin
     backtrack s 0;
-    enqueue s lit (-1)
-  | lit :: _ ->
+    enqueue s asserting (-1)
+  end
+  else begin
+    (* The asserting literal sits at the conflict level, which no tail
+       literal shares, so it contributes exactly one more level. *)
+    let lbd = 1 + compute_lbd s s.learnt_buf in
     backtrack s backjump;
-    let arr = Array.of_list learnt in
+    let arr = Array.make (nb + 1) asserting in
+    for k = 0 to nb - 1 do
+      arr.(1 + k) <- Veci.unsafe_get s.learnt_buf (nb - 1 - k)
+    done;
     (* Move a max-level literal (other than the asserting one) to
        position 1 so both watches are correct after backjumping. *)
     let best = ref 1 in
@@ -327,21 +545,82 @@ let record_learnt s learnt backjump =
     let tmp = arr.(1) in
     arr.(1) <- arr.(!best);
     arr.(!best) <- tmp;
-    let ci = push_clause s arr in
-    attach s ci;
+    let cr = push_clause s arr in
+    Veci.unsafe_set s.arena cr (Array.length arr lor (lbd lsl hdr_len_bits));
+    Veci.push s.learnts cr;
+    attach s cr;
     s.s_learned <- s.s_learned + 1;
-    enqueue s lit ci
+    enqueue s asserting cr
+  end
+
+(* Learnt-database reduction: drop the worst half of the removable
+   learnt clauses, ranked by LBD (highest first, older clause wins a
+   tie). Never removed: clauses currently acting as the reason of a
+   trail assignment (their indices are live in [reason]), binary
+   clauses, and glue clauses (LBD <= 2). *)
+let reduce_db s =
+  s.s_reduces <- s.s_reduces + 1;
+  let locked = Array.make (Veci.length s.arena) false in
+  for i = 0 to s.trail_size - 1 do
+    let r = s.reason.(abs s.trail.(i)) in
+    if r >= 0 then locked.(r) <- true
+  done;
+  let n_learnts = Veci.length s.learnts in
+  let removable = ref [] in
+  Veci.iter
+    (fun cr ->
+      if (not locked.(cr)) && cls_len s cr > 2 && cls_lbd s cr > 2 then
+        removable := cr :: !removable)
+    s.learnts;
+  let ranked =
+    List.sort
+      (fun a b ->
+        match Int.compare (cls_lbd s b) (cls_lbd s a) with
+        | 0 -> Int.compare a b
+        | c -> c)
+      !removable
+  in
+  let budget = ref (n_learnts / 2) in
+  List.iter
+    (fun cr ->
+      if !budget > 0 then begin
+        decr budget;
+        unwatch s (cls_lit s cr 0) cr;
+        unwatch s (cls_lit s cr 1) cr;
+        Veci.unsafe_set s.arena cr 0;
+        s.s_removed <- s.s_removed + 1
+      end)
+    ranked;
+  (* Compact the live-learnts index. *)
+  let keep = Veci.to_array s.learnts in
+  Veci.clear s.learnts;
+  Array.iter
+    (fun cr -> if cls_len s cr > 0 then Veci.push s.learnts cr)
+    keep
 
 let pick_branch_var s =
-  let best = ref 0 in
-  let best_act = ref neg_infinity in
-  for v = 1 to s.nvars do
-    if s.values.(v) = -1 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
-    end
+  let rec next () =
+    let v = Order_heap.pop s.order in
+    if v = 0 then 0 else if var_assigned s v then next () else v
+  in
+  next ()
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+   [luby x] is the value at 0-based index [x]. *)
+let luby x =
+  let size = ref 1 in
+  let seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
   done;
-  !best
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
 
 exception Result of result
 
@@ -358,10 +637,12 @@ let m_conflicts = Metrics.counter ~scope:"sat" "conflicts"
 let m_propagations = Metrics.counter ~scope:"sat" "propagations"
 let m_restarts = Metrics.counter ~scope:"sat" "restarts"
 let m_learned = Metrics.counter ~scope:"sat" "learned_clauses"
+let m_reduces = Metrics.counter ~scope:"sat" "db_reductions"
+let m_removed = Metrics.counter ~scope:"sat" "removed_clauses"
 let t_solve = Metrics.timer ~scope:"sat" "solve"
 
 let flush_metrics s ~from result =
-  let d0, c0, p0, r0, l0 = from in
+  let d0, c0, p0, r0, l0, rd0, rm0 = from in
   Metrics.incr m_solves;
   Metrics.incr
     (match result with Sat -> m_sat | Unsat -> m_unsat | Unknown _ -> m_unknown);
@@ -369,12 +650,15 @@ let flush_metrics s ~from result =
   Metrics.add m_conflicts (s.s_conflicts - c0);
   Metrics.add m_propagations (s.s_propagations - p0);
   Metrics.add m_restarts (s.s_restarts - r0);
-  Metrics.add m_learned (s.s_learned - l0)
+  Metrics.add m_learned (s.s_learned - l0);
+  Metrics.add m_reduces (s.s_reduces - rd0);
+  Metrics.add m_removed (s.s_removed - rm0)
 
 let solve ?(assumptions = []) ?(limit = Limits.none) s =
   s.s_solves <- s.s_solves + 1;
   let from =
-    (s.s_decisions, s.s_conflicts, s.s_propagations, s.s_restarts, s.s_learned)
+    ( s.s_decisions, s.s_conflicts, s.s_propagations, s.s_restarts, s.s_learned,
+      s.s_reduces, s.s_removed )
   in
   let finish result =
     flush_metrics s ~from result;
@@ -386,7 +670,7 @@ let solve ?(assumptions = []) ?(limit = Limits.none) s =
      immediate exhaustion of a budgeted call — keyed by the solver's
      own solve ordinal, so it is independent of scheduling. *)
   let limited = not (Limits.is_none limit) in
-  let _, c0, p0, _, _ = from in
+  let _, c0, p0, _, _, _, _ = from in
   let injected =
     limited
     && match Faults.inject ~site:"sat/budget" ~key:(string_of_int s.s_solves) with
@@ -407,7 +691,8 @@ let solve ?(assumptions = []) ?(limit = Limits.none) s =
       assumptions;
     let n_assumptions = List.length assumptions in
     let assumption = Array.of_list assumptions in
-    let conflict_budget = ref 100 in
+    let restarts_here = ref 0 in
+    let conflict_budget = ref (restart_base * luby 0) in
     let conflicts_here = ref 0 in
     let result = ref None in
     (try
@@ -432,16 +717,23 @@ let solve ?(assumptions = []) ?(limit = Limits.none) s =
              backtrack s 0;
              raise (Result Unsat)
            end;
-           let learnt, backjump = analyze s confl in
+           let asserting, backjump = analyze s confl in
            (* Never backjump into the middle of the assumptions; redo
               them instead. *)
            let backjump = max backjump n_assumptions in
            let backjump = min backjump (current_level s - 1) in
-           record_learnt s learnt backjump;
+           record_learnt s asserting backjump;
            decay_activity s;
+           s.conflicts_since_reduce <- s.conflicts_since_reduce + 1;
+           if s.conflicts_since_reduce >= s.reduce_limit then begin
+             s.conflicts_since_reduce <- 0;
+             s.reduce_limit <- s.reduce_limit + reduce_inc;
+             reduce_db s
+           end;
            if !conflicts_here >= !conflict_budget then begin
              conflicts_here := 0;
-             conflict_budget := !conflict_budget + (!conflict_budget / 2);
+             incr restarts_here;
+             conflict_budget := restart_base * luby !restarts_here;
              s.s_restarts <- s.s_restarts + 1;
              backtrack s 0
            end
@@ -475,11 +767,10 @@ let solve ?(assumptions = []) ?(limit = Limits.none) s =
      with Result r -> result := Some r);
     match !result with
     | Some Sat ->
-      (* Keep the model readable: copy values into phases, then reset
-         the trail so the solver stays usable incrementally. *)
-      for v = 1 to s.nvars do
-        if s.values.(v) >= 0 then s.phase.(v) <- s.values.(v) = 1
-      done;
+      (* Reset the trail so the solver stays usable incrementally.
+         [backtrack] records every popped assignment in [phase], and
+         level-0 assignments stay on the trail, so {!value} reads the
+         full model without an explicit copy. *)
       backtrack s 0;
       finish Sat
     | Some (Unsat | Unknown _ as r) -> finish r
@@ -488,7 +779,7 @@ let solve ?(assumptions = []) ?(limit = Limits.none) s =
 
 let value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.value";
-  if s.values.(v) >= 0 then s.values.(v) = 1 else s.phase.(v)
+  if var_assigned s v then var_true s v else s.phase.(v)
 
 let stats s =
   {
@@ -498,3 +789,17 @@ let stats s =
     restarts = s.s_restarts;
     learned = s.s_learned;
   }
+
+(* Test hooks: structural invariants that would be awkward to observe
+   through the public solving interface alone. *)
+let live_learnt_clauses s = Veci.length s.learnts
+let db_reductions s = s.s_reduces
+let removed_clauses s = s.s_removed
+
+let reasons_are_live s =
+  let ok = ref true in
+  for i = 0 to s.trail_size - 1 do
+    let r = s.reason.(abs s.trail.(i)) in
+    if r >= 0 && cls_len s r = 0 then ok := false
+  done;
+  !ok

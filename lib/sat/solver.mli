@@ -4,12 +4,21 @@
     yardstick for every locking decision in the paper — needs a SAT
     solver with incremental clause addition. None is available in the
     sealed environment, so this is a from-scratch conflict-driven
-    clause-learning solver: two-watched-literal propagation, first-UIP
-    conflict analysis with clause learning and non-chronological
-    backjumping, exponential-moving-average VSIDS branching, geometric
-    restarts, and phase saving. It comfortably handles the
-    miter-style instances produced by {!Attack} (tens of thousands of
-    clauses, hundreds of thousands of conflicts).
+    clause-learning solver: two-watched-literal propagation over flat
+    watch lists with blocker literals ({!Rb_util.Veci}, no
+    per-propagation allocation), first-UIP conflict analysis with
+    clause learning and non-chronological backjumping, VSIDS branching
+    through an {!Order_heap} (O(log n) decisions), phase saving, Luby
+    restarts, and LBD-ranked learnt-clause database reduction so long
+    incremental attacks do not drown in dead learnt clauses. It
+    comfortably handles the miter-style instances produced by
+    {!Attack} (tens of thousands of clauses, hundreds of thousands of
+    conflicts). {!Solver_ref} retains the seed implementation as a
+    differential-testing oracle.
+
+    All heuristics count logical work only (conflicts, restart
+    indices, reduction cadence), so runs are bit-deterministic across
+    machines and [--jobs] values.
 
     Literals follow the DIMACS convention: variables are positive
     integers and a negative integer denotes negation.
@@ -78,3 +87,22 @@ val value : t -> int -> bool
 
 val stats : t -> stats
 (** Cumulative search statistics. *)
+
+(** {2 Introspection for tests}
+
+    Structural state of the learnt-clause database, exposed so the
+    test suite can observe reduction behaviour that the solving
+    interface hides. Not meant for production call sites. *)
+
+val live_learnt_clauses : t -> int
+(** Learnt clauses currently in the database (learned minus removed). *)
+
+val db_reductions : t -> int
+(** Times the learnt database has been reduced. *)
+
+val removed_clauses : t -> int
+(** Learnt clauses dropped by all reductions so far. *)
+
+val reasons_are_live : t -> bool
+(** No assigned variable's reason clause has been removed — the
+    invariant that makes database reduction sound. *)

@@ -1,0 +1,25 @@
+(** The seed CDCL solver, retained as a differential-testing oracle.
+
+    {!Solver} was rewritten for speed (order-heap VSIDS, flat watch
+    lists with blockers, Luby restarts, learnt-clause database
+    reduction). Heuristic changes of that size cannot be reviewed by
+    eye, so this module keeps the original, slower implementation —
+    unmodified search behaviour, stripped of metrics and budget
+    plumbing — and the QCheck differential suite checks both solvers
+    return identical Sat/Unsat verdicts (with independently verified
+    models) over random CNFs, including the assumption and
+    incremental paths.
+
+    Not for production call sites: it still scans every variable per
+    decision and conses a list cell per propagation. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+val new_var : t -> int
+val new_vars : t -> int -> int
+val add_clause : t -> int list -> unit
+val solve : ?assumptions:int list -> t -> result
+val value : t -> int -> bool

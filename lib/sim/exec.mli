@@ -17,6 +17,40 @@ module Minterm = Rb_dfg.Minterm
 type op_eval = { a : int; b : int; result : int }
 (** One operation's operand pair and result in one sample. *)
 
+(** Zero-allocation evaluation for sample loops.
+
+    [make] compiles the trace's DFG once — operand sources flattened
+    to int arrays, input names resolved to sample columns — and
+    allocates result buffers that every subsequent {!Fast.eval_clean}
+    reuses. Callers that sweep a whole trace (the K-matrix build, the
+    error aggregation) pay the interpretive cost per trace instead of
+    per sample and allocate nothing inside the loop. The one-shot
+    {!eval_clean}/{!eval_locked} functions below stay as conveniences
+    for single-sample callers. *)
+module Fast : sig
+  type t
+
+  val make : Trace.t -> t
+  (** Compile the trace's DFG. O(ops), including the per-input name
+      lookups the evaluation loop then never repeats. *)
+
+  val n_ops : t -> int
+
+  val eval_clean : t -> sample:int -> unit
+  (** Golden evaluation of one sample into the internal buffers. *)
+
+  val a : t -> int array
+  (** Left operands of the last evaluation, indexed by op id. The
+      buffer is owned by [t] and overwritten by the next evaluation —
+      read, don't keep. *)
+
+  val b : t -> int array
+  (** Right operands; same ownership rules as {!a}. *)
+
+  val results : t -> int array
+  (** Results; same ownership rules as {!a}. *)
+end
+
 val eval_clean : Trace.t -> sample:int -> op_eval array
 (** Golden evaluation of one sample, indexed by operation id. *)
 

@@ -3,7 +3,11 @@ module Minterm = Rb_dfg.Minterm
 
 type t = {
   dfg : Dfg.t;
-  per_op : (Minterm.t, int) Hashtbl.t array; (* op id -> minterm counts *)
+  (* op id -> minterm counts. The buckets hold [int ref]s so that the
+     build loop bumps a count with one hash probe ([find_opt] + [incr])
+     instead of the find/replace double probe an immutable [int]
+     payload forces. *)
+  per_op : (Minterm.t, int ref) Hashtbl.t array;
 }
 
 module Metrics = Rb_util.Metrics
@@ -19,14 +23,19 @@ let build trace =
   let dfg = Trace.dfg trace in
   let n = Dfg.op_count dfg in
   let per_op = Array.init n (fun _ -> Hashtbl.create 32) in
+  (* One compiled evaluator for the whole sweep: operand buffers are
+     reused across samples, so the loop's only allocations are the
+     count refs of first-seen minterms. *)
+  let fast = Exec.Fast.make trace in
+  let a = Exec.Fast.a fast and b = Exec.Fast.b fast in
   for s = 0 to Trace.length trace - 1 do
-    let evals = Exec.eval_clean trace ~sample:s in
+    Exec.Fast.eval_clean fast ~sample:s;
     for id = 0 to n - 1 do
-      let e = evals.(id) in
-      let m = Minterm.pack e.Exec.a e.Exec.b in
+      let m = Minterm.pack a.(id) b.(id) in
       let table = per_op.(id) in
-      let current = Option.value (Hashtbl.find_opt table m) ~default:0 in
-      Hashtbl.replace table m (current + 1)
+      match Hashtbl.find_opt table m with
+      | Some r -> incr r
+      | None -> Hashtbl.add table m (ref 1)
     done
   done;
   { dfg; per_op }
@@ -40,27 +49,30 @@ let of_counts dfg entries =
       List.iter
         (fun (m, c) ->
           if c < 0 then invalid_arg "Kmatrix.of_counts: negative count";
-          let current = Option.value (Hashtbl.find_opt per_op.(op) m) ~default:0 in
-          Hashtbl.replace per_op.(op) m (current + c))
+          match Hashtbl.find_opt per_op.(op) m with
+          | Some r -> r := !r + c
+          | None -> Hashtbl.add per_op.(op) m (ref c))
         counts)
     entries;
   { dfg; per_op }
 
 let dfg t = t.dfg
 
-let count t m n = Option.value (Hashtbl.find_opt t.per_op.(n) m) ~default:0
+let count t m n =
+  match Hashtbl.find_opt t.per_op.(n) m with Some r -> !r | None -> 0
 
 let count_set t set n =
   Minterm.Set.fold (fun m acc -> acc + count t m n) set 0
 
 let op_histogram t n =
-  Hashtbl.fold (fun m c acc -> (m, c) :: acc) t.per_op.(n) []
+  Hashtbl.fold (fun m c acc -> (m, !c) :: acc) t.per_op.(n) []
   |> List.sort (fun (m1, c1) (m2, c2) ->
          match Int.compare c2 c1 with 0 -> Minterm.compare m1 m2 | c -> c)
 
 let total_occurrences t m =
   Array.fold_left
-    (fun acc table -> acc + Option.value (Hashtbl.find_opt table m) ~default:0)
+    (fun acc table ->
+      acc + (match Hashtbl.find_opt table m with Some r -> !r | None -> 0))
     0 t.per_op
 
 let aggregate ?kind t =
@@ -74,7 +86,7 @@ let aggregate ?kind t =
         Hashtbl.iter
           (fun m c ->
             let current = Option.value (Hashtbl.find_opt totals m) ~default:0 in
-            Hashtbl.replace totals m (current + c))
+            Hashtbl.replace totals m (current + !c))
           table)
     t.per_op;
   totals
@@ -109,7 +121,7 @@ let op_concentration t m =
     let best = ref 0 in
     Array.iter
       (fun table ->
-        let c = Option.value (Hashtbl.find_opt table m) ~default:0 in
+        let c = match Hashtbl.find_opt table m with Some r -> !r | None -> 0 in
         if c > !best then best := c)
       t.per_op;
     float_of_int !best /. float_of_int total

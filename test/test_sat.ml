@@ -1,4 +1,6 @@
 module Solver = Rb_sat.Solver
+module Solver_ref = Rb_sat.Solver_ref
+module Order_heap = Rb_sat.Order_heap
 module Tseitin = Rb_sat.Tseitin
 module Attack = Rb_sat.Attack
 module Netlist = Rb_netlist.Netlist
@@ -225,6 +227,221 @@ let qcheck_solver_vs_brute_force =
       | Sat -> brute && eval_clauses clauses (fun v -> Solver.value s v)
       | Unsat -> not brute
       | Unknown _ -> false (* no limit passed: must decide *))
+
+(* --------------------------------------------------------- order heap *)
+
+let test_heap_pop_follows_activity () =
+  let h = Order_heap.create () in
+  Order_heap.ensure h 5;
+  Order_heap.bump h 3 10.0;
+  Order_heap.bump h 1 5.0;
+  Order_heap.bump h 4 7.5;
+  Alcotest.(check bool) "valid after bumps" true (Order_heap.valid h);
+  Alcotest.(check int) "highest activity first" 3 (Order_heap.pop h);
+  Alcotest.(check int) "then next" 4 (Order_heap.pop h);
+  Alcotest.(check int) "then next" 1 (Order_heap.pop h);
+  ignore (Order_heap.pop h);
+  ignore (Order_heap.pop h);
+  Alcotest.(check int) "empty pops 0" 0 (Order_heap.pop h);
+  Alcotest.(check int) "empty size" 0 (Order_heap.size h)
+
+let test_heap_reinsert_and_membership () =
+  let h = Order_heap.create () in
+  Order_heap.ensure h 3;
+  Alcotest.(check bool) "in heap after ensure" true (Order_heap.in_heap h 2);
+  let v = Order_heap.pop h in
+  Alcotest.(check bool) "popped var left" false (Order_heap.in_heap h v);
+  Order_heap.insert h v;
+  Order_heap.insert h v;
+  (* double insert is a no-op *)
+  Alcotest.(check int) "size back to 3" 3 (Order_heap.size h);
+  Alcotest.(check bool) "valid" true (Order_heap.valid h)
+
+let test_heap_set_activity_decrease () =
+  let h = Order_heap.create () in
+  Order_heap.ensure h 6;
+  for v = 1 to 6 do
+    Order_heap.bump h v (float_of_int v)
+  done;
+  (* Demote the current maximum below everything else: it must sift
+     down, not stay at the root. *)
+  Order_heap.set_activity h 6 0.5;
+  Alcotest.(check bool) "valid after decrease" true (Order_heap.valid h);
+  let order = List.init 6 (fun _ -> Order_heap.pop h) in
+  Alcotest.(check (list int)) "demoted var pops last" [ 5; 4; 3; 2; 1; 6 ] order
+
+let test_heap_rescale_preserves_order () =
+  let h = Order_heap.create () in
+  Order_heap.ensure h 8;
+  for v = 1 to 8 do
+    Order_heap.bump h v (float_of_int v *. 1e99)
+  done;
+  Order_heap.rescale h 1e-100;
+  Alcotest.(check bool) "valid after rescale" true (Order_heap.valid h);
+  Alcotest.(check (float 1e-9)) "activity scaled" 0.8
+    (Order_heap.activity h 8);
+  let order = List.init 8 (fun _ -> Order_heap.pop h) in
+  Alcotest.(check (list int)) "order preserved" [ 8; 7; 6; 5; 4; 3; 2; 1 ] order
+
+let test_heap_random_ops_keep_invariant () =
+  let rng = Rng.create 7 in
+  let h = Order_heap.create () in
+  Order_heap.ensure h 40;
+  for step = 1 to 2000 do
+    (match Rng.int rng 4 with
+    | 0 -> Order_heap.bump h (1 + Rng.int rng 40) (Rng.float rng 10.0)
+    | 1 -> Order_heap.set_activity h (1 + Rng.int rng 40) (Rng.float rng 10.0)
+    | 2 -> ignore (Order_heap.pop h)
+    | _ -> Order_heap.insert h (1 + Rng.int rng 40));
+    if step mod 100 = 0 then
+      Alcotest.(check bool) "invariant holds" true (Order_heap.valid h)
+  done;
+  (* Re-admit everything, rebuild, and drain: activities must come out
+     non-increasing. *)
+  for v = 1 to 40 do
+    Order_heap.insert h v
+  done;
+  Order_heap.rebuild h;
+  let rec drain last =
+    let v = Order_heap.pop h in
+    if v = 0 then true
+    else
+      let a = Order_heap.activity h v in
+      a <= last +. 1e-12 && drain a
+  in
+  Alcotest.(check bool) "drain non-increasing" true (drain infinity)
+
+(* ---------------------------------------------------------- clause db *)
+
+(* Deterministic reduction workload: php(8,7) costs a few thousand
+   conflicts in one solve call, comfortably past the first reduction
+   threshold, with a verdict known in advance. *)
+let test_db_reduction_on_pigeonhole () =
+  let s = pigeonhole 8 7 in
+  Alcotest.(check bool) "php(8,7) unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "reductions happened" true (Solver.db_reductions s >= 1);
+  Alcotest.(check bool) "clauses removed" true (Solver.removed_clauses s > 0);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "database shrank" true
+    (Solver.live_learnt_clauses s < st.learned);
+  Alcotest.(check bool) "reasons survive reduction" true (Solver.reasons_are_live s)
+
+let test_db_reduction_keeps_solver_usable () =
+  (* A satisfiable phase-transition instance (the solver-bench pinned
+     seed): thousands of conflicts, so the database is reduced at
+     least once, and the model can be checked directly. *)
+  let rng = Rng.create 12 in
+  let n_vars = 180 in
+  let clauses =
+    List.init 767 (fun _ ->
+        let rec distinct () =
+          let a = 1 + Rng.int rng n_vars in
+          let b = 1 + Rng.int rng n_vars in
+          let c = 1 + Rng.int rng n_vars in
+          if a = b || b = c || a = c then distinct () else (a, b, c)
+        in
+        let a, b, c = distinct () in
+        let sign x = if Rng.bool rng then x else -x in
+        [ sign a; sign b; sign c ])
+  in
+  let s = Solver.create () in
+  ignore (Solver.new_vars s n_vars);
+  List.iter (Solver.add_clause s) clauses;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "reduction ran" true (Solver.db_reductions s >= 1);
+  Alcotest.(check bool) "model satisfies every clause" true
+    (eval_clauses clauses (fun v -> Solver.value s v));
+  Alcotest.(check bool) "reasons live" true (Solver.reasons_are_live s);
+  (* The solver must stay usable incrementally after reductions: pin a
+     variable each way and get coherent verdicts. *)
+  let v = 1 + ((Rng.int rng n_vars) mod n_vars) in
+  (match Solver.solve ~assumptions:[ v ] s with
+  | Solver.Sat ->
+    Alcotest.(check bool) "assumption respected" true (Solver.value s v)
+  | Solver.Unsat -> ()
+  | Solver.Unknown _ -> Alcotest.fail "unlimited solve returned Unknown");
+  match Solver.solve ~assumptions:[ -v ] s with
+  | Solver.Sat ->
+    Alcotest.(check bool) "negated assumption respected" false (Solver.value s v)
+  | Solver.Unsat -> ()
+  | Solver.Unknown _ -> Alcotest.fail "unlimited solve returned Unknown"
+
+(* ------------------------------------------------- differential oracle *)
+
+(* Random CNFs with mixed clause lengths (1-4): unit clauses drive the
+   root-level simplification paths, longer clauses the watch
+   machinery. *)
+let random_cnf rng ~n_vars ~n_clauses =
+  List.init n_clauses (fun _ ->
+      let len = 1 + Rng.int rng 4 in
+      List.init len (fun _ ->
+          let v = 1 + Rng.int rng n_vars in
+          if Rng.bool rng then v else -v))
+
+let qcheck_differential_vs_reference =
+  QCheck2.Test.make ~name:"rewritten solver matches reference oracle" ~count:500
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000) (int_range 4 12) (int_range 1 60))
+    (fun (seed, n_vars, n_clauses) ->
+      let rng = Rng.create seed in
+      let clauses = random_cnf rng ~n_vars ~n_clauses in
+      let s = Solver.create () in
+      ignore (Solver.new_vars s n_vars);
+      let r = Solver_ref.create () in
+      ignore (Solver_ref.new_vars r n_vars);
+      List.iter (Solver.add_clause s) clauses;
+      List.iter (Solver_ref.add_clause r) clauses;
+      match (Solver.solve s, Solver_ref.solve r) with
+      | Solver.Sat, Solver_ref.Sat ->
+        (* Verdicts agreeing is not enough: each solver's model must
+           satisfy the formula by direct clause evaluation. *)
+        eval_clauses clauses (fun v -> Solver.value s v)
+        && eval_clauses clauses (fun v -> Solver_ref.value r v)
+      | Solver.Unsat, Solver_ref.Unsat -> true
+      | _ -> false)
+
+let qcheck_differential_incremental_assumptions =
+  QCheck2.Test.make ~name:"incremental + assumption paths match oracle"
+    ~count:150
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 2 40))
+    (fun (seed, n_clauses) ->
+      let rng = Rng.create seed in
+      let n_vars = 8 in
+      let s = Solver.create () in
+      ignore (Solver.new_vars s n_vars);
+      let r = Solver_ref.create () in
+      ignore (Solver_ref.new_vars r n_vars);
+      let clauses = random_cnf rng ~n_vars ~n_clauses in
+      let seen = ref [] in
+      List.for_all
+        (fun c ->
+          Solver.add_clause s c;
+          Solver_ref.add_clause r c;
+          seen := c :: !seen;
+          let assumptions =
+            List.init (Rng.int rng 3) (fun _ ->
+                let v = 1 + Rng.int rng n_vars in
+                if Rng.bool rng then v else -v)
+          in
+          match (Solver.solve ~assumptions s, Solver_ref.solve ~assumptions r) with
+          | Solver.Sat, Solver_ref.Sat ->
+            eval_clauses !seen (fun v -> Solver.value s v)
+            && List.for_all
+                 (fun lit ->
+                   if lit > 0 then Solver.value s lit
+                   else not (Solver.value s (-lit)))
+                 assumptions
+          | Solver.Unsat, Solver_ref.Unsat ->
+            (* Unsat under assumptions must not poison the instance:
+               an assumption-free solve still agrees below. *)
+            true
+          | _ -> false)
+        clauses
+      && (match (Solver.solve s, Solver_ref.solve r) with
+         | Solver.Sat, Solver_ref.Sat ->
+           eval_clauses !seen (fun v -> Solver.value s v)
+         | Solver.Unsat, Solver_ref.Unsat -> true
+         | _ -> false))
 
 (* ------------------------------------------------------------ tseitin *)
 
@@ -511,6 +728,26 @@ let () =
           Alcotest.test_case "sat/budget fault site" `Quick
             test_solve_budget_fault_site;
         ] );
+      ( "order-heap",
+        [
+          Alcotest.test_case "pop follows activity" `Quick
+            test_heap_pop_follows_activity;
+          Alcotest.test_case "reinsert + membership" `Quick
+            test_heap_reinsert_and_membership;
+          Alcotest.test_case "set_activity decrease" `Quick
+            test_heap_set_activity_decrease;
+          Alcotest.test_case "rescale preserves order" `Quick
+            test_heap_rescale_preserves_order;
+          Alcotest.test_case "random ops keep invariant" `Quick
+            test_heap_random_ops_keep_invariant;
+        ] );
+      ( "clause-db",
+        [
+          Alcotest.test_case "reduction on pigeonhole" `Quick
+            test_db_reduction_on_pigeonhole;
+          Alcotest.test_case "usable after reduction" `Quick
+            test_db_reduction_keeps_solver_usable;
+        ] );
       ( "tseitin",
         [
           Alcotest.test_case "matches simulation" `Quick test_tseitin_matches_simulation;
@@ -545,5 +782,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_solver_vs_brute_force; qcheck_incremental_matches_batch ] );
+          [
+            qcheck_solver_vs_brute_force; qcheck_incremental_matches_batch;
+            qcheck_differential_vs_reference;
+            qcheck_differential_incremental_assumptions;
+          ] );
     ]

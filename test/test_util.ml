@@ -9,8 +9,81 @@ module Bench_diff = Rb_util.Bench_diff
 module Limits = Rb_util.Limits
 module Faults = Rb_util.Faults
 module Checkpoint = Rb_util.Checkpoint
+module Veci = Rb_util.Veci
 
 let check_float = Alcotest.(check (float 1e-9))
+
+(* ----------------------------------------------------------------- Veci *)
+
+let test_veci_push_get_pop () =
+  let v = Veci.create () in
+  Alcotest.(check int) "empty" 0 (Veci.length v);
+  for i = 0 to 99 do
+    Veci.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Veci.length v);
+  Alcotest.(check int) "get" 49 (Veci.get v 7);
+  Veci.set v 7 (-1);
+  Alcotest.(check int) "set" (-1) (Veci.get v 7);
+  Alcotest.(check int) "pop returns last" (99 * 99) (Veci.pop v);
+  Alcotest.(check int) "pop shrinks" 99 (Veci.length v)
+
+let test_veci_growth_past_capacity () =
+  (* Push far beyond the default capacity; every element must survive
+     the reallocation chain. *)
+  let v = Veci.create ~cap:1 () in
+  for i = 0 to 9_999 do
+    Veci.push v i
+  done;
+  let ok = ref true in
+  for i = 0 to 9_999 do
+    if Veci.get v i <> i then ok := false
+  done;
+  Alcotest.(check bool) "contents preserved across growth" true !ok
+
+let test_veci_truncate_clear () =
+  let v = Veci.of_list [ 1; 2; 3; 4; 5 ] in
+  Veci.truncate v 2;
+  Alcotest.(check (list int)) "truncated" [ 1; 2 ] (Veci.to_list v);
+  Veci.push v 9;
+  Alcotest.(check (list int)) "push after truncate" [ 1; 2; 9 ] (Veci.to_list v);
+  Veci.clear v;
+  Alcotest.(check int) "cleared" 0 (Veci.length v)
+
+let test_veci_swap_remove () =
+  let v = Veci.of_list [ 10; 20; 30; 40 ] in
+  Veci.swap_remove v 1;
+  (* last element fills the hole; order is not preserved *)
+  Alcotest.(check (list int)) "hole filled by last" [ 10; 40; 30 ] (Veci.to_list v);
+  Veci.swap_remove v 2;
+  Alcotest.(check (list int)) "removing last is a plain pop" [ 10; 40 ]
+    (Veci.to_list v)
+
+let test_veci_conversions_iter_exists () =
+  let v = Veci.of_list [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check (array int)) "to_array" [| 3; 1; 4; 1; 5 |] (Veci.to_array v);
+  let sum = ref 0 in
+  Veci.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check int) "iter visits all" 14 !sum;
+  Alcotest.(check bool) "exists hit" true (Veci.exists (fun x -> x = 4) v);
+  Alcotest.(check bool) "exists miss" false (Veci.exists (fun x -> x = 9) v);
+  (* to_array is a copy: mutating it must not touch the vector *)
+  (Veci.to_array v).(0) <- 99;
+  Alcotest.(check int) "to_array copies" 3 (Veci.get v 0)
+
+let test_veci_bounds_checked () =
+  let v = Veci.of_list [ 1; 2 ] in
+  let raises name f =
+    Alcotest.check_raises name (Invalid_argument name) (fun () -> f ())
+  in
+  raises "Veci.get" (fun () -> ignore (Veci.get v 2));
+  raises "Veci.get" (fun () -> ignore (Veci.get v (-1)));
+  raises "Veci.set" (fun () -> Veci.set v 2 0);
+  raises "Veci.truncate" (fun () -> Veci.truncate v 3);
+  raises "Veci.swap_remove" (fun () -> Veci.swap_remove v 2);
+  Veci.clear v;
+  raises "Veci.pop" (fun () -> ignore (Veci.pop v));
+  raises "Veci.create" (fun () -> ignore (Veci.create ~cap:(-1) ()))
 
 (* ------------------------------------------------------------------ Rng *)
 
@@ -1038,6 +1111,15 @@ let () =
           Alcotest.test_case "nested map runs inline" `Quick test_pool_nested_map;
           Alcotest.test_case "shutdown rejects further maps" `Quick
             test_pool_shutdown_rejects;
+        ] );
+      ( "veci",
+        [
+          Alcotest.test_case "push/get/pop" `Quick test_veci_push_get_pop;
+          Alcotest.test_case "growth" `Quick test_veci_growth_past_capacity;
+          Alcotest.test_case "truncate/clear" `Quick test_veci_truncate_clear;
+          Alcotest.test_case "swap_remove" `Quick test_veci_swap_remove;
+          Alcotest.test_case "conversions" `Quick test_veci_conversions_iter_exists;
+          Alcotest.test_case "bounds checks" `Quick test_veci_bounds_checked;
         ] );
       ( "json",
         [
