@@ -5,6 +5,7 @@
      bindlock show -b dct             schedule + workload statistics
      bindlock bind -b dct ...         bind/lock one benchmark, report errors
      bindlock lint                    design-rule check benchmarks + lock gadgets
+     bindlock analyze                 static vulnerability report for lock schemes
      bindlock attack ...              run the SAT attack on a locked adder
      bindlock dot -b dct              Graphviz dump of the DFG *)
 
@@ -415,6 +416,98 @@ let attack_cmd =
     (Cmd.info "attack" ~doc:"Run the oracle-guided SAT attack on a locked adder.")
     Term.(term_result (const run $ scheme_arg $ width_arg $ strength_arg $ seed_arg))
 
+(* ------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let scheme_kind =
+    Arg.enum
+      [ ("all", `All); ("rll", `Rll); ("pf", `Pf); ("antisat", `Antisat);
+        ("permnet", `Permnet) ]
+  in
+  let scheme_arg =
+    Arg.(value & opt scheme_kind `All & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Scheme to analyze: rll, pf, antisat, permnet, or all.")
+  in
+  let width_arg =
+    Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Adder operand width in bits.")
+  in
+  let strength_arg =
+    Arg.(value & opt int 4 & info [ "strength" ] ~docv:"S"
+           ~doc:"Key gates (rll), protected minterms (pf), or layers (permnet).")
+  in
+  let fail_arg =
+    Arg.(value & flag & info [ "fail-on-inferable" ]
+           ~doc:"Exit non-zero when any analyzed design has statically inferable \
+                 key bits (CI guard for SAT-hard schemes).")
+  in
+  let build_design width strength seed = function
+    | `Rll ->
+      let rng = Rb_util.Rng.create seed in
+      let l = Rb_netlist.Lock.xor_random ~rng ~key_bits:strength
+          (Rb_netlist.Circuits.adder ~width) in
+      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
+    | `Pf ->
+      let rng = Rb_util.Rng.create seed in
+      let space = 1 lsl (2 * width) in
+      let minterms = List.init strength (fun _ -> Rb_util.Rng.int rng space) in
+      let l = Rb_netlist.Lock.point_function ~minterms
+          (Rb_netlist.Circuits.adder ~width) in
+      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
+    | `Antisat ->
+      let rng = Rb_util.Rng.create seed in
+      let l = Rb_netlist.Lock.anti_sat ~rng (Rb_netlist.Circuits.adder ~width) in
+      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
+    | `Permnet ->
+      let rng = Rb_util.Rng.create seed in
+      let l = Rb_netlist.Lock.permutation_network ~rng ~layers:strength
+          (Rb_netlist.Circuits.adder ~width) in
+      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
+  in
+  let run scheme width strength seed format jobs fail_on_inferable =
+    if width < 2 || width > 8 then Error (`Msg "width must be in 2..8")
+    else begin
+      let schemes =
+        match scheme with
+        | `All -> [ `Rll; `Pf; `Antisat; `Permnet ]
+        | (`Rll | `Pf | `Antisat | `Permnet) as s -> [ s ]
+      in
+      let designs = List.map (build_design width strength seed) schemes in
+      let reports =
+        Pool.with_pool ~jobs (fun pool ->
+            Pool.map_list pool
+              ~f:(fun (subject, c) -> Rb_analysis.Report.analyze ~subject c)
+              designs)
+      in
+      (match format with
+       | `Json ->
+         print_endline
+           (Json.to_string
+              (Json.Obj
+                 [ ("schema", Json.String "rb-analyze/1");
+                   ("reports",
+                    Json.List (List.map Rb_analysis.Report.to_json reports)) ]))
+       | `Text ->
+         List.iter (fun r -> Format.printf "%a@." Rb_analysis.Report.pp r) reports);
+      let inferable =
+        List.fold_left
+          (fun acc r -> acc + List.length r.Rb_analysis.Report.inferable)
+          0 reports
+      in
+      if fail_on_inferable && inferable > 0 then
+        Error (`Msg (Printf.sprintf "analyze: %d key bit%s statically inferable"
+                       inferable (if inferable = 1 then "" else "s")))
+      else Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static vulnerability report for locked designs: oracle-less key \
+             inference, probability skew, dead logic, cycles and key \
+             observability.")
+    Term.(term_result
+            (const run $ scheme_arg $ width_arg $ strength_arg $ seed_arg
+             $ format_arg $ jobs_arg $ fail_arg))
+
 (* -------------------------------------------------------------- custom *)
 
 let custom_cmd =
@@ -567,5 +660,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; bind_cmd; lint_cmd; custom_cmd; attack_cmd;
-            export_cnf_cmd; export_dfg_cmd; dot_cmd ]))
+          [ list_cmd; show_cmd; bind_cmd; lint_cmd; analyze_cmd; custom_cmd;
+            attack_cmd; export_cnf_cmd; export_dfg_cmd; dot_cmd ]))

@@ -1,0 +1,90 @@
+module N = Rb_netlist.Netlist
+
+type t = {
+  sccs : N.net list list;
+  cyclic : bool array;
+}
+
+(* Iterative Tarjan over the net graph (edges operand -> driven net,
+   restricted to in-range operands). Iterative because adversarial
+   unchecked netlists can chain thousands of gates and the recursion
+   would track the longest path. *)
+let find c =
+  let n_nets = N.n_nets c in
+  let gates = N.gates c in
+  let base = n_nets - Array.length gates in
+  let succs net =
+    if net < base then []
+    else
+      List.filter
+        (fun m -> m >= 0 && m < n_nets)
+        (N.gate_fanin gates.(net - base))
+  in
+  let index = Array.make n_nets (-1) in
+  let lowlink = Array.make n_nets 0 in
+  let on_stack = Array.make n_nets false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let cyclic = Array.make n_nets false in
+  let sccs = ref [] in
+  let self_loop = Array.make n_nets false in
+  for net = base to n_nets - 1 do
+    if List.mem net (succs net) then self_loop.(net) <- true
+  done;
+  (* Explicit DFS frames: the net and its remaining successors. *)
+  let visit root =
+    if index.(root) < 0 then begin
+      let frames = ref [ (root, ref (succs root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (net, rest) :: tail -> (
+            match !rest with
+            | m :: more ->
+                rest := more;
+                if index.(m) < 0 then begin
+                  index.(m) <- !next_index;
+                  lowlink.(m) <- !next_index;
+                  incr next_index;
+                  stack := m :: !stack;
+                  on_stack.(m) <- true;
+                  frames := (m, ref (succs m)) :: !frames
+                end
+                else if on_stack.(m) then
+                  lowlink.(net) <- min lowlink.(net) index.(m)
+            | [] ->
+                frames := tail;
+                (match tail with
+                | (parent, _) :: _ ->
+                    lowlink.(parent) <- min lowlink.(parent) lowlink.(net)
+                | [] -> ());
+                if lowlink.(net) = index.(net) then begin
+                  let rec pop acc =
+                    match !stack with
+                    | [] -> acc
+                    | m :: rest ->
+                        stack := rest;
+                        on_stack.(m) <- false;
+                        if m = net then m :: acc else pop (m :: acc)
+                  in
+                  let comp = pop [] in
+                  match comp with
+                  | [ single ] when not self_loop.(single) -> ()
+                  | _ ->
+                      List.iter (fun m -> cyclic.(m) <- true) comp;
+                      sccs := List.sort compare comp :: !sccs
+                end)
+      done
+    end
+  in
+  for net = base to n_nets - 1 do
+    visit net
+  done;
+  { sccs = List.rev !sccs; cyclic }
+
+let count t = List.length t.sccs

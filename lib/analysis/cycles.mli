@@ -1,0 +1,29 @@
+(** Combinational-cycle detection with SCC extraction.
+
+    Builder-produced netlists are acyclic by construction, but
+    [Netlist.unchecked] circuits may contain forward references —
+    which, viewed as a net graph, are combinational cycles. Cyclic
+    locking schemes (SRCLock and successors) create them on purpose;
+    this module is the groundwork for reasoning about them: Tarjan's
+    algorithm over the gate-net graph, reporting every non-trivial
+    strongly connected component (two or more nets, or a self-loop).
+
+    Ill-formed operands (negative or out of range) are skipped — they
+    are {!Rb_netlist.Analysis.structural_errors}' business, and
+    skipping them keeps this total on arbitrary inputs. *)
+
+type t = {
+  sccs : Rb_netlist.Netlist.net list list;
+      (** non-trivial SCCs, each a sorted list of member nets;
+          components listed in a deterministic (reverse topological
+          discovery) order *)
+  cyclic : bool array;
+      (** per net (length [n_nets]): does the net lie on some
+          combinational cycle? *)
+}
+
+val find : Rb_netlist.Netlist.t -> t
+
+val count : t -> int
+(** Number of non-trivial SCCs — the "cycle count" a vulnerability
+    report quotes. *)

@@ -1,0 +1,78 @@
+module N = Rb_netlist.Netlist
+
+type v = (int * int) list
+
+(* Union of sorted assoc lists, keeping the minimum depth per key. *)
+let rec union a b =
+  match (a, b) with
+  | [], x | x, [] -> x
+  | (ka, da) :: ta, (kb, db) :: tb ->
+      if ka < kb then (ka, da) :: union ta b
+      else if kb < ka then (kb, db) :: union a tb
+      else (ka, min da db) :: union ta tb
+
+module Domain = struct
+  type nonrec v = v
+
+  let name = "keydep"
+  let equal (a : v) b = a = b
+  let join = union
+  let bogus = []
+
+  let transfer ~driven:_ gate ~read =
+    let deps =
+      List.fold_left (fun acc n -> union acc (read n)) [] (N.gate_fanin gate)
+    in
+    List.map (fun (k, d) -> (k, d + 1)) deps
+end
+
+module E = Engine.Make (Domain)
+
+let run ?limit c =
+  let n_inputs = N.n_inputs c in
+  let n_keys = N.n_keys c in
+  let init net =
+    if net >= n_inputs && net < n_inputs + n_keys then
+      [ (net - n_inputs, 0) ]
+    else []
+  in
+  E.run ?limit ~init c
+
+type summary = {
+  key_bit : int;
+  outputs_reached : int list;
+  min_output_depth : int option;
+  cone_gates : int;
+}
+
+let summarize c =
+  let values = (run c).Engine.values in
+  let base = N.n_inputs c + N.n_keys c in
+  let outputs = N.outputs c in
+  let n_nets = N.n_nets c in
+  List.init (N.n_keys c) (fun k ->
+      let outputs_reached = ref [] in
+      let min_depth = ref None in
+      Array.iteri
+        (fun pos net ->
+          if net >= 0 && net < n_nets then
+            match List.assoc_opt k values.(net) with
+            | Some d ->
+                outputs_reached := pos :: !outputs_reached;
+                min_depth :=
+                  Some
+                    (match !min_depth with
+                    | None -> d
+                    | Some d' -> min d d')
+            | None -> ())
+        outputs;
+      let cone_gates = ref 0 in
+      for net = base to n_nets - 1 do
+        if List.mem_assoc k values.(net) then incr cone_gates
+      done;
+      {
+        key_bit = k;
+        outputs_reached = List.rev !outputs_reached;
+        min_output_depth = !min_depth;
+        cone_gates = !cone_gates;
+      })

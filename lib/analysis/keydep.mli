@@ -1,0 +1,34 @@
+(** Key-dependence cones: which key bits reach which nets, and through
+    how many gates.
+
+    The domain element for a net is the set of key bits whose value can
+    structurally influence the net, each tagged with the {e minimum}
+    gate depth from the key input. Joins take set union with minimum
+    depth, so the fixpoint is exact reachability even through cycles.
+
+    Per-key-bit summaries answer the questions a locking report asks:
+    is the key bit observable at any output at all (a mute bit is free
+    for an attacker to guess), how shallow is its shortest path to an
+    output (shallow key logic is easier to isolate and strip), and how
+    large is its dependent cone (a one-gate cone is removable). *)
+
+type v = (int * int) list
+(** Sorted association list: key bit index to minimum depth in gates.
+    The empty list means key-independent. *)
+
+module Domain : Engine.DOMAIN with type v = v
+
+val run :
+  ?limit:Rb_util.Limits.t -> Rb_netlist.Netlist.t -> v Engine.outcome
+
+type summary = {
+  key_bit : int;
+  outputs_reached : int list;  (** output positions, ascending *)
+  min_output_depth : int option;
+      (** gates on the shortest key-to-output path; [None] when the
+          bit reaches no output (a mute key bit) *)
+  cone_gates : int;  (** gates whose output net depends on the bit *)
+}
+
+val summarize : Rb_netlist.Netlist.t -> summary list
+(** One {!summary} per key bit, ascending. *)

@@ -1,0 +1,51 @@
+(** Ternary constant propagation, parameterized by partial key
+    assignments.
+
+    The domain refines the classic [Known]/[Unknown] split with an
+    internal bottom element so that fixpoint iteration over cyclic
+    [unchecked] netlists is monotone: a net that has never been reached
+    stays bottom, a net forced to a boolean is [Known], and a net that
+    may take either value is [Unknown] (top). Externally, only
+    {!const} is exposed — bottom collapses into [Unknown], preserving
+    the historic [Rb_netlist.Analysis.constants] contract.
+
+    Propagation applies the standard identities: domination
+    ([And] with a false operand, [Or] with a true one), same-net
+    identities ([Xor (a, a)] is false, [Xnor (a, a)] is true),
+    known-select [Mux] narrowing and equal-known-branch [Mux]
+    collapse. Seeding a key bit with a concrete value — the
+    [?key] partial assignment — is what turns this analysis into the
+    SCOPE/SWEEP-style oracle-less attack primitive: propagate under
+    [k_i = 0] and [k_i = 1] and compare what the outputs can still
+    do. *)
+
+type const = Rb_netlist.Analysis.const = Known of bool | Unknown
+
+type v
+(** The internal four-valued lattice element. *)
+
+val to_const : v -> const
+(** Bottom and top both map to [Unknown]. *)
+
+module Domain : Engine.DOMAIN with type v = v
+
+val run :
+  ?limit:Rb_util.Limits.t ->
+  ?key:const array ->
+  Rb_netlist.Netlist.t ->
+  v Engine.outcome
+(** Propagate constants. [key], when given, must have length [n_keys];
+    [Known] entries pin the corresponding key net, [Unknown] entries
+    leave it free. Primary inputs are always free. *)
+
+val constants : ?key:const array -> Rb_netlist.Netlist.t -> const array
+(** Per-net constant classification — [run] projected through
+    {!to_const}. Drop-in replacement for the retired
+    [Rb_netlist.Analysis.constants]. *)
+
+val live_nets : ?key:const array -> Rb_netlist.Netlist.t -> bool array
+(** Per net: can the net influence an output value? Walks backwards
+    from the outputs, refusing to enter nets that {!constants} proved
+    constant, and following only the selected branch of a [Mux] whose
+    select is known. A constant output is itself live (it drives a
+    value) but nothing feeding it is. *)

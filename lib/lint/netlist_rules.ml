@@ -1,5 +1,7 @@
 module Netlist = Rb_netlist.Netlist
 module Analysis = Rb_netlist.Analysis
+module Ternary = Rb_analysis.Ternary
+module Probability = Rb_analysis.Probability
 module D = Diagnostic
 
 let rule_cycle = "NET-CYCLE"
@@ -7,6 +9,14 @@ let rule_dead = "NET-DEAD"
 let rule_key_mute = "NET-KEY-MUTE"
 let rule_key_strip = "NET-KEY-STRIP"
 let rule_const_out = "NET-CONST-OUT"
+let rule_key_skew = "NET-KEY-SKEW"
+
+(* Probability window outside which a key gate's output counts as
+   skewed: matching ProbLock's leak criterion, a gate that is almost
+   always 0 (or 1) under random keys hands its key bit to a
+   probability-profiling attacker. *)
+let skew_lo = 0.05
+let skew_hi = 0.95
 
 let check c =
   let n_inputs = Netlist.n_inputs c in
@@ -31,9 +41,9 @@ let check c =
         (D.error ~rule:rule_cycle (D.Output pos)
            (Printf.sprintf "output declared on nonexistent net %d" net)))
     (Analysis.invalid_outputs c);
-  let cone = Analysis.output_cone c in
-  let live = Analysis.live_nets c in
-  let consts = Analysis.constants c in
+  let cone = Rb_analysis.Engine.output_cone c in
+  let live = Ternary.live_nets c in
+  let consts = Ternary.constants c in
   (* dead gates *)
   Array.iteri
     (fun i _ ->
@@ -59,6 +69,19 @@ let check c =
            ~hint:"the lock is removable by constant propagation (e.g. k XOR k); \
                   re-insert the key gate on non-redundant logic")
   done;
+  (* key gates with heavily skewed output probability *)
+  List.iter
+    (fun (gate, p) ->
+      emit
+        (D.warning ~rule:rule_key_skew (D.Gate gate)
+           (Printf.sprintf
+              "key gate output has estimated signal probability %.3f under random \
+               keys (outside [%.2f, %.2f])"
+              p skew_lo skew_hi)
+           ~hint:"a near-constant key gate leaks its key bit to \
+                  probability-profiling attacks; balance the gate (XOR-style \
+                  insertion keeps p at 1/2)"))
+    (Probability.skewed_key_gates ~lo:skew_lo ~hi:skew_hi c);
   (* outputs driven by keys or constants *)
   Array.iteri
     (fun pos net ->

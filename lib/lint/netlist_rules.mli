@@ -23,16 +23,23 @@
     - {!rule_const_out} [NET-CONST-OUT]: an output driven directly by
       a key input (error — it leaks the key bit on an observable pin)
       or statically constant (warning).
+    - {!rule_key_skew} [NET-KEY-SKEW] (warning): a key gate whose
+      output signal probability under random keys falls outside
+      [0.05, 0.95] — near-constant key gates leak their bits to
+      ProbLock-style probability-profiling attacks.
 
-    All structural work is delegated to {!Rb_netlist.Analysis}, so the
-    checks terminate on arbitrary {!Rb_netlist.Netlist.unchecked}
-    circuits. *)
+    Structural well-formedness comes from {!Rb_netlist.Analysis}; the
+    semantic facts (cones, constants, liveness, probabilities) come
+    from the [Rb_analysis] dataflow engine, whose fixpoint iteration
+    terminates on arbitrary {!Rb_netlist.Netlist.unchecked} circuits,
+    cyclic ones included. *)
 
 val rule_cycle : string
 val rule_dead : string
 val rule_key_mute : string
 val rule_key_strip : string
 val rule_const_out : string
+val rule_key_skew : string
 
 val check : Rb_netlist.Netlist.t -> Diagnostic.t list
 (** Run every gate-level rule. *)

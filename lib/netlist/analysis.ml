@@ -1,16 +1,5 @@
 type const = Known of bool | Unknown
 
-let fanin = function
-  | Netlist.And (a, b)
-  | Netlist.Or (a, b)
-  | Netlist.Xor (a, b)
-  | Netlist.Nand (a, b)
-  | Netlist.Nor (a, b)
-  | Netlist.Xnor (a, b) -> [ a; b ]
-  | Netlist.Not a | Netlist.Buf a -> [ a ]
-  | Netlist.Mux (s, a, b) -> [ s; a; b ]
-  | Netlist.Const _ -> []
-
 let base c = Netlist.n_inputs c + Netlist.n_keys c
 
 let structural_errors c =
@@ -19,7 +8,9 @@ let structural_errors c =
   Array.iteri
     (fun i g ->
       let driven = b + i in
-      List.iter (fun n -> if n < 0 || n >= driven then errs := (i, n) :: !errs) (fanin g))
+      List.iter
+        (fun n -> if n < 0 || n >= driven then errs := (i, n) :: !errs)
+        (Netlist.gate_fanin g))
     (Netlist.gates c);
   List.rev !errs
 
@@ -30,110 +21,3 @@ let invalid_outputs c =
     (fun pos n -> if n < 0 || n >= total then errs := (pos, n) :: !errs)
     (Netlist.outputs c);
   List.rev !errs
-
-(* Operand validity for traversals: in range and not a forward
-   reference, so recursion always descends towards lower nets. *)
-let operand_ok ~driven n = n >= 0 && n < driven
-
-let output_cone c =
-  let b = base c in
-  let gates = Netlist.gates c in
-  let total = Netlist.n_nets c in
-  let cone = Array.make total false in
-  let rec visit n =
-    if n >= 0 && n < total && not cone.(n) then begin
-      cone.(n) <- true;
-      if n >= b then
-        List.iter (fun m -> if operand_ok ~driven:n m then visit m) (fanin gates.(n - b))
-    end
-  in
-  Array.iter visit (Netlist.outputs c);
-  cone
-
-let constants c =
-  let b = base c in
-  let gates = Netlist.gates c in
-  let values = Array.make (Netlist.n_nets c) Unknown in
-  let v driven n = if operand_ok ~driven n then values.(n) else Unknown in
-  Array.iteri
-    (fun i g ->
-      let driven = b + i in
-      let v = v driven in
-      let r =
-        match g with
-        | Netlist.Const k -> Known k
-        | Netlist.Buf a -> v a
-        | Netlist.Not a -> (match v a with Known k -> Known (not k) | Unknown -> Unknown)
-        | Netlist.And (a, b') ->
-          (match (v a, v b') with
-           | Known false, _ | _, Known false -> Known false
-           | Known x, Known y -> Known (x && y)
-           | _ -> Unknown)
-        | Netlist.Nand (a, b') ->
-          (match (v a, v b') with
-           | Known false, _ | _, Known false -> Known true
-           | Known x, Known y -> Known (not (x && y))
-           | _ -> Unknown)
-        | Netlist.Or (a, b') ->
-          (match (v a, v b') with
-           | Known true, _ | _, Known true -> Known true
-           | Known x, Known y -> Known (x || y)
-           | _ -> Unknown)
-        | Netlist.Nor (a, b') ->
-          (match (v a, v b') with
-           | Known true, _ | _, Known true -> Known false
-           | Known x, Known y -> Known (not (x || y))
-           | _ -> Unknown)
-        | Netlist.Xor (a, b') ->
-          if a = b' then Known false
-          else
-            (match (v a, v b') with
-             | Known x, Known y -> Known (x <> y)
-             | _ -> Unknown)
-        | Netlist.Xnor (a, b') ->
-          if a = b' then Known true
-          else
-            (match (v a, v b') with
-             | Known x, Known y -> Known (x = y)
-             | _ -> Unknown)
-        | Netlist.Mux (s, a, b') ->
-          (match v s with
-           | Known false -> v a
-           | Known true -> v b'
-           | Unknown ->
-             (match (v a, v b') with
-              | Known x, Known y when x = y -> Known x
-              | _ -> Unknown))
-      in
-      values.(driven) <- r)
-    gates;
-  values
-
-let live_nets c =
-  let b = base c in
-  let gates = Netlist.gates c in
-  let total = Netlist.n_nets c in
-  let consts = constants c in
-  let live = Array.make total false in
-  let rec visit n =
-    if n >= 0 && n < total && (not live.(n)) && consts.(n) = Unknown then begin
-      live.(n) <- true;
-      if n >= b then begin
-        let follow m = if operand_ok ~driven:n m then visit m in
-        match gates.(n - b) with
-        | Netlist.Mux (s, a, b') ->
-          (* A known select cuts the unselected branch out of the
-             circuit; known data operands are refused by [visit]. *)
-          (match if operand_ok ~driven:n s then consts.(s) else Unknown with
-           | Known false -> follow a
-           | Known true -> follow b'
-           | Unknown ->
-             follow s;
-             follow a;
-             follow b')
-        | g -> List.iter follow (fanin g)
-      end
-    end
-  in
-  Array.iter visit (Netlist.outputs c);
-  live

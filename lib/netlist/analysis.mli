@@ -1,14 +1,18 @@
-(** Reusable structural analyses over gate-level netlists.
+(** Structural well-formedness checks over gate-level netlists.
 
-    The lint rules in [Rb_lint] (and any future netlist optimizer) need
-    the same three facts about a circuit: which operand references are
-    structurally ill-formed, which nets can influence an output, and
-    which nets are statically constant. This module computes all three
-    without assuming the netlist came from {!Netlist.Builder}, so it is
-    safe on circuits assembled with {!Netlist.unchecked} — a forward
-    reference (an operand net at or beyond the gate's own driven net)
-    is reported, not followed, which is what makes every traversal here
-    terminate even on cyclic inputs. *)
+    These are the two facts a consumer must establish before trusting
+    any deeper traversal of a circuit assembled with
+    {!Netlist.unchecked}: that every gate operand names an existing,
+    earlier net, and that every declared output names a net inside the
+    circuit. A forward reference (an operand at or beyond the gate's
+    own driven net — a combinational cycle once the netlist is viewed
+    as a graph) is reported, not followed.
+
+    The semantic analyses that used to live here — constant
+    propagation, output cones, liveness — are now instantiations of
+    the dataflow engine in [Rb_analysis] (see [Rb_analysis.Ternary] and
+    [Rb_analysis.Engine.output_cone]), which handles cyclic inputs by
+    fixpoint iteration instead of refusing to traverse them. *)
 
 type const =
   | Known of bool  (** statically constant under every input/key *)
@@ -17,30 +21,8 @@ type const =
 val structural_errors : Netlist.t -> (int * Netlist.net) list
 (** Ill-formed gate operands: [(gate_index, operand_net)] for every
     operand that is negative, out of net range, or a forward reference
-    (at or past the gate's own driven net — a combinational cycle once
-    the netlist is viewed as a graph). Ascending gate index. *)
+    (at or past the gate's own driven net). Ascending gate index. *)
 
 val invalid_outputs : Netlist.t -> (int * Netlist.net) list
 (** Output declarations naming a net outside the circuit:
     [(output_position, net)]. *)
-
-val output_cone : Netlist.t -> bool array
-(** Per net (length {!Netlist.n_nets}): is the net an output or in the
-    transitive structural fan-in of one? The complement over gate nets
-    is dead logic. Ill-formed operands are skipped. *)
-
-val constants : Netlist.t -> const array
-(** Per net: forward constant propagation. Inputs and keys are
-    [Unknown]; [Const] gates seed the lattice; gate rules include the
-    identities that strip careless locking ([x XOR x = 0],
-    [x XNOR x = 1], [AND]/[OR] absorption, muxes with a known select
-    or identical known branches). Operands that are ill-formed or
-    forward references stay [Unknown]. *)
-
-val live_nets : Netlist.t -> bool array
-(** Per net: can the net still influence an output after constant
-    folding? Traversal from the outputs that refuses to enter
-    statically-[Known] nets and, at a mux with a known select, only
-    follows the selected branch. A key input that is in
-    {!output_cone} but not live is removable by constant propagation —
-    the "trivially strippable" locking defect. *)

@@ -55,16 +55,7 @@ let live_gates c =
   let rec visit net =
     if net >= base && not live.(net - base) then begin
       live.(net - base) <- true;
-      let fanin =
-        match gates.(net - base) with
-        | Netlist.And (a, b) | Netlist.Or (a, b) | Netlist.Xor (a, b)
-        | Netlist.Nand (a, b) | Netlist.Nor (a, b) | Netlist.Xnor (a, b) ->
-          [ a; b ]
-        | Netlist.Not a | Netlist.Buf a -> [ a ]
-        | Netlist.Mux (s, a, b) -> [ s; a; b ]
-        | Netlist.Const _ -> []
-      in
-      List.iter visit fanin
+      List.iter visit (Netlist.gate_fanin gates.(net - base))
     end
   in
   Array.iter visit (Netlist.outputs c);

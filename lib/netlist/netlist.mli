@@ -38,6 +38,11 @@ val outputs : t -> net array
 val input_net : t -> int -> net
 (** [input_net c i] is the net of primary input [i]. *)
 
+val gate_fanin : gate -> net list
+(** Operand nets of a gate, in declaration order ([Mux] lists the
+    select first). The one fan-in enumeration every traversal in the
+    repo shares. *)
+
 val key_net : t -> int -> net
 (** [key_net c i] is the net of key input [i]. *)
 

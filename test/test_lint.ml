@@ -101,6 +101,31 @@ let test_net_const_out () =
   check_fires "const output" Netlist_rules.rule_const_out (Report.diagnostics report);
   Alcotest.(check bool) "const output alone stays clean" true (Report.is_clean report)
 
+let test_net_key_skew () =
+  (* an AND-reduce over five key bits is true with probability 1/32
+     under random keys — far below the 0.05 floor, the textbook
+     ProbLock leak *)
+  let b = B.create ~n_inputs:1 ~n_keys:5 in
+  let x = B.input b 0 in
+  let keys = List.init 5 (B.key b) in
+  let guard = B.and_reduce b keys in
+  B.output b (B.and_ b x guard);
+  let diags = Netlist_rules.check (B.finish b) in
+  check_fires "key AND-chain" Netlist_rules.rule_key_skew diags;
+  Alcotest.(check bool) "skew is only a warning" true
+    (List.for_all
+       (fun d ->
+         d.Diagnostic.rule <> Netlist_rules.rule_key_skew
+         || d.Diagnostic.severity <> Diagnostic.Error)
+       diags);
+  (* a lone XOR key gate is perfectly balanced: silent *)
+  let b = B.create ~n_inputs:1 ~n_keys:1 in
+  let x = B.input b 0 in
+  let g = B.not_ b x in
+  B.output b (B.xor_ b g (B.key b 0));
+  check_silent "balanced XOR lock" Netlist_rules.rule_key_skew
+    (Netlist_rules.check (B.finish b))
+
 let test_clean_adder_has_no_diags () =
   let report = Lint.netlist (Circuits.adder ~width:4) in
   Alcotest.(check (list string)) "no diagnostics at all" []
@@ -333,6 +358,7 @@ let () =
           Alcotest.test_case "NET-KEY-MUTE" `Quick test_net_key_mute;
           Alcotest.test_case "NET-KEY-STRIP" `Quick test_net_key_strip;
           Alcotest.test_case "NET-CONST-OUT" `Quick test_net_const_out;
+          Alcotest.test_case "NET-KEY-SKEW" `Quick test_net_key_skew;
           Alcotest.test_case "clean adder" `Quick test_clean_adder_has_no_diags;
         ] );
       ( "hls rules",

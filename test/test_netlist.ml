@@ -273,7 +273,7 @@ let test_permutation_network_all_keys_drive_swaps () =
       let rng = Rng.create 21 in
       let base = Circuits.adder ~width in
       let locked = Lock.permutation_network ~rng ~layers base in
-      let cone = Rb_netlist.Analysis.output_cone locked.Lock.circuit in
+      let cone = Rb_analysis.Engine.output_cone locked.Lock.circuit in
       let c = locked.Lock.circuit in
       for k = 0 to Netlist.n_keys c - 1 do
         Alcotest.(check bool)
