@@ -640,11 +640,126 @@ let runtime () =
         results)
     tests
 
+(* ---------------------------------------------------------------- serve *)
+
+(* The serve daemon's job palette: ~40 distinct feasible jobs spanning
+   every operation the service layer executes. The replay stream
+   below revisits these at random, so consecutive requests overlap
+   heavily — the regime the content-addressed store is built for. *)
+let serve_palette () =
+  let open Rb_service.Job in
+  let bind benchmark binder seed =
+    Bind
+      { benchmark; seed; binder; kind = Dfg.Mul; locked_fus = 2; minterms_per_fu = 2 }
+  in
+  let mul_binds =
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun binder -> List.map (bind b binder) [ 1789; 1790 ])
+          [ "codesign"; "area"; "obf" ])
+      [ "dct"; "fft"; "jctrans2" ]
+  in
+  let fir_text = Rb_dfg.Dfg_text.to_string (Workload.find "fir").Workload.dfg in
+  mul_binds
+  @ [
+      Bind
+        { benchmark = "ecb_enc4"; seed = 1789; binder = "codesign"; kind = Dfg.Add;
+          locked_fus = 2; minterms_per_fu = 2 };
+      Bind
+        { benchmark = "fir"; seed = 1789; binder = "area"; kind = Dfg.Add;
+          locked_fus = 1; minterms_per_fu = 2 };
+      Lint
+        { benchmark = Some "dct"; seed = 1789; locked_fus = 2; minterms_per_fu = 2;
+          min_lambda = None };
+      Lint
+        { benchmark = Some "fir"; seed = 1789; locked_fus = 2; minterms_per_fu = 2;
+          min_lambda = None };
+      Analyze { scheme = None; width = 4; strength = 4; seed = 1789 };
+      Analyze { scheme = Some Pf; width = 4; strength = 2; seed = 1789 };
+      Analyze { scheme = Some Rll; width = 4; strength = 2; seed = 1789 };
+      Analyze { scheme = Some Antisat; width = 4; strength = 4; seed = 1789 };
+      Analyze { scheme = Some Permnet; width = 3; strength = 2; seed = 1789 };
+      Attack { scheme = Rll; width = 3; strength = 2; seed = 1789; max_iterations = 20_000 };
+      Attack { scheme = Rll; width = 4; strength = 4; seed = 1789; max_iterations = 20_000 };
+      Attack { scheme = Pf; width = 3; strength = 1; seed = 1789; max_iterations = 20_000 };
+      Attack { scheme = Pf; width = 4; strength = 2; seed = 1789; max_iterations = 20_000 };
+      Attack
+        { scheme = Permnet; width = 3; strength = 2; seed = 1789; max_iterations = 20_000 };
+      Export_cnf { scheme = Rll; width = 4; strength = 2; miter = false; seed = 1789 };
+      Export_cnf { scheme = Pf; width = 4; strength = 2; miter = true; seed = 1789 };
+      Export_cnf { scheme = Permnet; width = 4; strength = 2; miter = false; seed = 1789 };
+      List_benchmarks;
+      Show { benchmark = "dct"; seed = 1789 };
+      Show { benchmark = "fir"; seed = 1790 };
+      Export_dfg { benchmark = "dct" };
+      Dot { benchmark = "fir" };
+      Custom
+        { source = Dfg_source fir_text; kind = Dfg.Add; locked_fus = 1;
+          minterms_per_fu = 2; trace_length = 256; seed = 1789 };
+    ]
+
+(* Traffic replay through the Rb_service executor — the serve daemon's
+   dispatch path (job stream -> batches -> pool -> content-addressed
+   store) minus the NDJSON transport. The stream draws from the fixed
+   palette, so the cache hit/miss split is a property of the workload
+   and byte-identical for every --jobs value (the store's single-flight
+   discipline guarantees one miss per distinct key even when workers
+   race). Stdout carries only deterministic counts; latency
+   percentiles and throughput are timings, so they go to stderr and
+   runtime/ gauges. *)
+let serve_replay ~pool () =
+  section
+    "Serve - rb-job/1 traffic replay: 100k overlapping jobs through the\n\
+     executor's content-addressed store (p50/p99 latency on stderr)";
+  let palette = Array.of_list (serve_palette ()) in
+  let n_jobs = 100_000 in
+  let batch = 64 in
+  let store = Rb_service.Store.create () in
+  let executor = Rb_service.Executor.create ~store ~pool () in
+  let rng = Rng.create 20_260_808 in
+  let stream =
+    Array.init n_jobs (fun _ -> palette.(Rng.int rng (Array.length palette)))
+  in
+  let walls = Array.make n_jobs 0.0 in
+  let errors = ref 0 in
+  let t0 = Metrics.now_s () in
+  let pos = ref 0 in
+  while !pos < n_jobs do
+    let len = min batch (n_jobs - !pos) in
+    let results = Rb_service.Executor.run_batch executor (Array.sub stream !pos len) in
+    Array.iteri
+      (fun i (r, w) ->
+        walls.(!pos + i) <- w;
+        match r with Ok _ -> () | Error _ -> incr errors)
+      results;
+    pos := !pos + len
+  done;
+  let wall = Metrics.now_s () -. t0 in
+  let stats = Rb_service.Store.stats store in
+  let lookups = stats.Rb_service.Store.hits + stats.Rb_service.Store.misses in
+  Printf.printf "  replayed %d jobs from a %d-job palette in batches of %d\n" n_jobs
+    (Array.length palette) batch;
+  Printf.printf "  results: %d ok, %d errors\n" (n_jobs - !errors) !errors;
+  Printf.printf "  cache: %d hits, %d misses over %d lookups (%.1f%% hit rate)\n"
+    stats.Rb_service.Store.hits stats.Rb_service.Store.misses lookups
+    (100.0 *. float_of_int stats.Rb_service.Store.hits /. float_of_int (max 1 lookups));
+  Array.sort compare walls;
+  let pct p = walls.(min (n_jobs - 1) (p * n_jobs / 100)) in
+  let p50 = pct 50 and p99 = pct 99 in
+  let throughput = float_of_int n_jobs /. wall in
+  Metrics.set_gauge (Metrics.gauge ~scope:"runtime" "serve p50 ms-per-job") (1000. *. p50);
+  Metrics.set_gauge (Metrics.gauge ~scope:"runtime" "serve p99 ms-per-job") (1000. *. p99);
+  Metrics.set_gauge (Metrics.gauge ~scope:"runtime" "serve jobs-per-s") throughput;
+  Printf.eprintf "  [serve: p50 %.3f ms, p99 %.3f ms, %.0f jobs/s]\n" (1000. *. p50)
+    (1000. *. p99) throughput
+
 (* ------------------------------------------------------------------ CLI *)
 
 let section_order =
   [ "fig4"; "fig5"; "fig6"; "headline"; "eqn1"; "sat-attack"; "analysis";
-    "solver-bench"; "methodology"; "quality"; "postlock"; "ablation"; "runtime" ]
+    "solver-bench"; "methodology"; "quality"; "postlock"; "ablation"; "serve";
+    "runtime" ]
 
 let usage () =
   Printf.eprintf
@@ -820,6 +935,7 @@ let () =
             ("analysis", static_analysis);
             ("solver-bench", solver_bench);
             ("methodology", methodology);
+            ("serve", serve_replay ~pool);
             ("runtime", runtime);
           ]
       in

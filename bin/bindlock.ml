@@ -7,23 +7,25 @@
      bindlock lint                    design-rule check benchmarks + lock gadgets
      bindlock analyze                 static vulnerability report for lock schemes
      bindlock attack ...              run the SAT attack on a locked adder
-     bindlock dot -b dct              Graphviz dump of the DFG *)
+     bindlock dot -b dct             Graphviz dump of the DFG
+     bindlock serve                   NDJSON job daemon over stdin or a socket
+
+   Every subcommand is a thin client of Rb_service: parse flags into a
+   Job.t, run it on an Executor, render the Outcome. The pipeline
+   wiring lives in lib/service; nothing here touches the binding,
+   locking or attack code directly. *)
 
 module Dfg = Rb_dfg.Dfg
-module Schedule = Rb_sched.Schedule
 module Benchmark = Rb_workload.Benchmark
-module Kmatrix = Rb_sim.Kmatrix
-module Exec = Rb_sim.Exec
-module Allocation = Rb_hls.Allocation
-module Binding = Rb_hls.Binding
-module Profile = Rb_hls.Profile
-module Config = Rb_locking.Config
-module Scheme = Rb_locking.Scheme
 module Binder = Rb_hls.Binder
-module Cost = Rb_core.Cost
-module Table = Rb_util.Table
-module Json = Rb_util.Json
 module Pool = Rb_util.Pool
+module Limits = Rb_util.Limits
+module Job = Rb_service.Job
+module Error = Rb_service.Error
+module Executor = Rb_service.Executor
+module Outcome = Rb_service.Outcome
+module Render = Rb_service.Render
+module Serve = Rb_service.Serve
 open Cmdliner
 
 (* Populate the binder registry before any --binder argument is
@@ -47,93 +49,31 @@ let jobs_arg =
          ~doc:"Worker domains for parallel work (default: available cores; 1 runs \
                everything inline).")
 
-let lookup name =
-  match Benchmark.find name with
-  | b -> Ok b
-  | exception Not_found -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name))
+(* One job, one executor. Commands with their own --jobs flag pass it
+   through; everything else runs a 1-job pool (inline, no domains). *)
+let run_job ?(jobs = 1) job =
+  Pool.with_pool ~jobs (fun pool ->
+      let executor = Executor.create ~pool () in
+      Executor.run executor job)
+
+let to_msg (e : Error.t) = `Msg e.Error.message
 
 (* ---------------------------------------------------------------- list *)
 
 let list_cmd =
   let run format =
-    let rows =
-      List.map
-        (fun b ->
-          let schedule = Benchmark.schedule b in
-          ( b.Benchmark.name,
-            b.Benchmark.source,
-            List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Add),
-            List.length (Dfg.ops_of_kind b.Benchmark.dfg Dfg.Mul),
-            Schedule.n_cycles schedule ))
-        (Benchmark.all ())
-    in
-    match format with
-    | `Json ->
-      print_endline
-        (Json.to_string
-           (Json.Obj
-              [
-                ( "benchmarks",
-                  Json.List
-                    (List.map
-                       (fun (name, source, adds, muls, cycles) ->
-                         Json.Obj
-                           [
-                             ("name", Json.String name);
-                             ("source", Json.String source);
-                             ("adds", Json.Int adds);
-                             ("muls", Json.Int muls);
-                             ("cycles", Json.Int cycles);
-                           ])
-                       rows) );
-                ("binders", Json.List (List.map (fun n -> Json.String n) (Binder.names ())));
-              ]))
-    | `Text ->
-      let table =
-        Table.create ~title:"MediaBench-derived benchmarks (Sec. VI)"
-          ~columns:[ "source"; "adds"; "muls"; "cycles" ]
-      in
-      List.iter
-        (fun (name, source, adds, muls, cycles) ->
-          Table.add_text_row table ~label:name
-            ~cells:
-              [ source; string_of_int adds; string_of_int muls; string_of_int cycles ])
-        rows;
-      Table.print table;
-      Printf.printf "\nregistered binders:\n";
-      List.iter
-        (fun name ->
-          let (module B : Binder.S) = Binder.require name in
-          Printf.printf "  %-10s %s\n" B.name B.description)
-        (Binder.names ())
+    Result.map (Render.print format) (Result.map_error to_msg (run_job Job.List_benchmarks))
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List the benchmark suite and the registered binders.")
-    Term.(const run $ format_arg)
+    Term.(term_result (const run $ format_arg))
 
 (* ---------------------------------------------------------------- show *)
 
 let show_cmd =
   let run name seed =
-    Result.map
-      (fun b ->
-        let schedule = Benchmark.schedule b in
-        let trace = Benchmark.trace ~seed b in
-        let k = Kmatrix.build trace in
-        Format.printf "%a@.%a@.source: %s@." Dfg.pp b.Benchmark.dfg Schedule.pp schedule
-          b.Benchmark.source;
-        Format.printf "workload: top-10 minterms carry %.0f%% of occurrences@.@."
-          (100.0 *. Kmatrix.head_mass k ~n:10);
-        List.iter
-          (fun kind ->
-            Format.printf "top %s minterms:@." (Dfg.kind_label kind);
-            List.iter
-              (fun m ->
-                Format.printf "  %a x%d@." Rb_dfg.Minterm.pp m
-                  (Kmatrix.total_occurrences k m))
-              (Kmatrix.top_minterms ~kind k ~n:5))
-          [ Dfg.Add; Dfg.Mul ])
-      (lookup name)
+    Result.map (Render.print `Text)
+      (Result.map_error to_msg (run_job (Job.Show { benchmark = name; seed })))
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Schedule and workload statistics of one benchmark.")
@@ -158,112 +98,12 @@ let locked_fus_arg =
 let minterms_arg =
   Arg.(value & opt int 2 & info [ "minterms" ] ~docv:"M" ~doc:"Locked inputs per FU.")
 
-let json_of_config config =
-  Json.Obj
-    [
-      ("scheme", Json.String (Scheme.name (Config.scheme config)));
-      ( "locks",
-        Json.List
-          (List.map
-             (fun fu ->
-               Json.Obj
-                 [
-                   ("fu", Json.Int fu);
-                   ( "minterms",
-                     Json.List
-                       (List.map
-                          (fun m ->
-                            let a, b = Rb_dfg.Minterm.unpack m in
-                            Json.List [ Json.Int a; Json.Int b ])
-                          (Rb_dfg.Minterm.Set.elements (Config.minterms_of config fu)))
-                   );
-                 ])
-             (Config.locked_fus config)) );
-      ("lambda_per_fu", Json.float_or_string (Config.lambda_per_fu config));
-    ]
-
 let bind_cmd =
-  let run name seed binder kind locked_fu_count minterms_per_fu format =
-    Result.bind (lookup name) (fun b ->
-        let schedule = Benchmark.schedule b in
-        let trace = Benchmark.trace ~seed b in
-        let allocation = Allocation.for_schedule schedule in
-        let k = Kmatrix.build trace in
-        let profile = Profile.build trace in
-        let fus = Allocation.fu_ids allocation kind in
-        if List.length fus < locked_fu_count then
-          Error (`Msg (Printf.sprintf "only %d %s FUs allocated" (List.length fus)
-                         (Dfg.kind_label kind)))
-        else begin
-          let candidates = Array.of_list (Kmatrix.top_minterms ~kind k ~n:10) in
-          if Array.length candidates < minterms_per_fu then
-            Error (`Msg "workload too uniform: not enough candidate minterms")
-          else begin
-            let locked_fus = List.filteri (fun i _ -> i < locked_fu_count) fus in
-            let spec =
-              { Rb_core.Codesign.scheme = Scheme.Sfll_rem; locked_fus; minterms_per_fu;
-                candidates }
-            in
-            (* The co-designed configuration seeds input.config; binders
-               with a fixed a-priori lock bind under it, the codesign
-               binder re-derives its search spec from its shape. *)
-            let codesigned = Rb_core.Codesign.heuristic k schedule allocation spec in
-            let input =
-              { Binder.schedule; allocation; profile; k;
-                config = codesigned.Rb_core.Codesign.config; candidates }
-            in
-            let out = Binder.bind binder input in
-            let config = out.Binder.config in
-            let binding = out.Binder.binding in
-            let report =
-              Exec.application_errors schedule trace ~fu_of_op:(Binding.fu_array binding)
-                ~config
-            in
-            (match format with
-             | `Json ->
-               print_endline
-                 (Json.to_string
-                    (Json.Obj
-                       [
-                         ("benchmark", Json.String b.Benchmark.name);
-                         ("binder", Json.String binder);
-                         ("kind", Json.String (Dfg.kind_label kind));
-                         ("config", json_of_config config);
-                         ("expected_errors", Json.Int (Cost.expected_errors k binding config));
-                         ( "measured",
-                           Json.Obj
-                             [
-                               ("error_events", Json.Int report.Exec.error_events);
-                               ("samples", Json.Int report.Exec.samples);
-                               ("corrupted_samples", Json.Int report.Exec.corrupted_samples);
-                               ("max_burst_cycles",
-                                Json.Int report.Exec.max_consecutive_cycles);
-                             ] );
-                         ( "overhead",
-                           Json.Obj
-                             [
-                               ("registers", Json.Int (Rb_hls.Registers.count binding));
-                               ("switching_rate",
-                                Json.float_or_string (Rb_hls.Switching.rate binding profile));
-                             ] );
-                       ]))
-             | `Text ->
-               Format.printf "binder: %s@." binder;
-               Format.printf "locking: %a@." Config.pp config;
-               Format.printf "predicted SAT iterations per FU (Eqn. 1): %.0f@."
-                 (Config.lambda_per_fu config);
-               Format.printf "expected application errors (Eqn. 2): %d@."
-                 (Cost.expected_errors k binding config);
-               Format.printf "measured wrong-key error events: %d over %d samples@."
-                 report.Exec.error_events report.Exec.samples;
-               Format.printf "corrupted samples: %d, longest error burst: %d cycles@."
-                 report.Exec.corrupted_samples report.Exec.max_consecutive_cycles;
-               Format.printf "registers: %d, switching rate: %.3f@."
-                 (Rb_hls.Registers.count binding)
-                 (Rb_hls.Switching.rate binding profile));
-            Ok ()
-          end
-        end)
+  let run name seed binder kind locked_fus minterms_per_fu format =
+    Result.map (Render.print format)
+      (Result.map_error to_msg
+         (run_job
+            (Job.Bind { benchmark = name; seed; binder; kind; locked_fus; minterms_per_fu })))
   in
   Cmd.v
     (Cmd.info "bind" ~doc:"Bind and lock one benchmark; report error and overhead.")
@@ -284,72 +124,16 @@ let lint_cmd =
            ~doc:"SAT-resilience target: error when a locked FU's predicted Eqn. 1 \
                  iterations fall below $(docv).")
   in
-  let lint_design b seed locked_fu_count minterms_per_fu min_lambda =
-    let schedule = Benchmark.schedule b in
-    let trace = Benchmark.trace ~seed b in
-    let allocation = Allocation.for_schedule schedule in
-    let k = Kmatrix.build trace in
-    List.filter_map
-      (fun kind ->
-        let fus = Allocation.fu_ids allocation kind in
-        let candidates = Array.of_list (Kmatrix.top_minterms ~kind k ~n:10) in
-        if fus = [] || Array.length candidates = 0 then None
-        else begin
-          let n_locked = min locked_fu_count (List.length fus) in
-          let spec =
-            { Rb_core.Codesign.scheme = Scheme.Sfll_rem;
-              locked_fus = List.filteri (fun i _ -> i < n_locked) fus;
-              minterms_per_fu = min minterms_per_fu (Array.length candidates);
-              candidates }
-          in
-          let sol = Rb_core.Codesign.heuristic k schedule allocation spec in
-          let binding = sol.Rb_core.Codesign.binding in
-          Some
-            (Rb_lint.Lint.design ?min_lambda ~candidates
-               ~config:sol.Rb_core.Codesign.config
-               ~registers:(Rb_hls.Registers.count binding)
-               ~transfers:(Rb_lint.Hls_rules.transfer_count binding)
-               ~subject:(Printf.sprintf "%s/%s" b.Benchmark.name (Dfg.kind_label kind))
-               schedule allocation ~fu_of_op:(Binding.fu_array binding))
-        end)
-      [ Dfg.Add; Dfg.Mul ]
-  in
-  let lint_gates seed =
-    let rng = Rb_util.Rng.create seed in
-    let base = Rb_netlist.Circuits.adder ~width:4 in
-    let space = 1 lsl 8 in
-    [
-      Rb_lint.Lint.netlist ~subject:"adder(4)" base;
-      Rb_lint.Lint.netlist ~subject:"multiplier(4)" (Rb_netlist.Circuits.multiplier ~width:4);
-      Rb_lint.Lint.locked (Rb_netlist.Lock.xor_random ~rng ~key_bits:4 base);
-      Rb_lint.Lint.locked
-        (Rb_netlist.Lock.point_function
-           ~minterms:[ Rb_util.Rng.int rng space; Rb_util.Rng.int rng space ]
-           base);
-      Rb_lint.Lint.locked (Rb_netlist.Lock.anti_sat ~rng base);
-      Rb_lint.Lint.locked (Rb_netlist.Lock.permutation_network ~rng ~layers:2 base);
-    ]
-  in
-  let run bench seed locked_fu_count minterms_per_fu min_lambda format jobs =
-    let benches =
-      match bench with
-      | None -> Ok (Benchmark.all ())
-      | Some name -> Result.map (fun b -> [ b ]) (lookup name)
-    in
-    Result.bind benches (fun benches ->
-        let design_reports =
-          Pool.with_pool ~jobs (fun pool ->
-              Pool.map_list pool
-                ~f:(fun b -> lint_design b seed locked_fu_count minterms_per_fu min_lambda)
-                benches)
-        in
+  let run bench seed locked_fus minterms_per_fu min_lambda format jobs =
+    Result.bind
+      (Result.map_error to_msg
+         (run_job ~jobs
+            (Job.Lint { benchmark = bench; seed; locked_fus; minterms_per_fu; min_lambda })))
+      (fun outcome ->
+        Render.print format outcome;
         let reports =
-          (if bench = None then lint_gates seed else []) @ List.concat design_reports
+          match outcome with Outcome.Linted reports -> reports | _ -> []
         in
-        (match format with
-         | `Json -> print_endline (Rb_lint.Report.json_of_reports reports)
-         | `Text ->
-           List.iter (fun r -> Format.printf "%a@." Rb_lint.Report.pp r) reports);
         match Rb_lint.Report.total_errors reports with
         | 0 -> Ok ()
         | n ->
@@ -368,68 +152,44 @@ let lint_cmd =
 
 (* -------------------------------------------------------------- attack *)
 
+let attack_scheme_arg =
+  let scheme_kind = Arg.enum [ ("rll", Job.Rll); ("pf", Job.Pf); ("permnet", Job.Permnet) ] in
+  Arg.(value & opt scheme_kind Job.Pf & info [ "scheme" ] ~docv:"SCHEME"
+         ~doc:"Locking scheme: rll, pf (point function), or permnet.")
+
+let width_arg =
+  Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Adder operand width in bits.")
+
 let attack_cmd =
-  let scheme_kind = Arg.enum [ ("rll", `Rll); ("pf", `Pf); ("permnet", `Permnet) ] in
-  let scheme_arg =
-    Arg.(value & opt scheme_kind `Pf & info [ "scheme" ] ~docv:"SCHEME"
-           ~doc:"Locking scheme: rll, pf (point function), or permnet.")
-  in
-  let width_arg =
-    Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Adder operand width in bits.")
-  in
   let strength_arg =
     Arg.(value & opt int 2 & info [ "strength" ] ~docv:"S"
            ~doc:"Key gates (rll), protected minterms (pf), or layers (permnet).")
   in
-  let run scheme width strength seed =
-    if width < 2 || width > 8 then Error (`Msg "width must be in 2..8")
-    else begin
-      let base = Rb_netlist.Circuits.adder ~width in
-      let rng = Rb_util.Rng.create seed in
-      let locked =
-        match scheme with
-        | `Rll -> Rb_netlist.Lock.xor_random ~rng ~key_bits:strength base
-        | `Pf ->
-          let space = 1 lsl (2 * width) in
-          let minterms = List.init strength (fun _ -> Rb_util.Rng.int rng space) in
-          Rb_netlist.Lock.point_function ~minterms base
-        | `Permnet -> Rb_netlist.Lock.permutation_network ~rng ~layers:strength base
-      in
-      Format.printf "locked circuit: %s, %a@." locked.Rb_netlist.Lock.description
-        Rb_netlist.Netlist.pp_stats locked.Rb_netlist.Lock.circuit;
-      let t0 = Sys.time () in
-      (match Rb_sat.Attack.attack_locked ~max_iterations:20_000 locked with
-       | Rb_sat.Attack.Broken { key; iterations } ->
-         Format.printf "broken in %d DIP iterations (%.2fs); recovered key %s@." iterations
-           (Sys.time () -. t0)
-           (if Rb_sat.Attack.key_is_correct locked key then "is functionally correct"
-            else "FAILS verification")
-       | Rb_sat.Attack.Budget_exceeded { iterations } ->
-         Format.printf "survived %d iterations (%.2fs)@." iterations (Sys.time () -. t0)
-       | Rb_sat.Attack.Solver_limit { iterations; reason } ->
-         Format.printf "solver %s budget exhausted after %d iterations (%.2fs)@."
-           (Rb_util.Limits.reason_label reason) iterations (Sys.time () -. t0));
-      Ok ()
-    end
+  let run scheme width strength seed format =
+    let t0 = Sys.time () in
+    Result.map
+      (fun outcome ->
+        Render.print ~attack_wall_s:(Sys.time () -. t0) format outcome)
+      (Result.map_error to_msg
+         (run_job (Job.Attack { scheme; width; strength; seed; max_iterations = 20_000 })))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run the oracle-guided SAT attack on a locked adder.")
-    Term.(term_result (const run $ scheme_arg $ width_arg $ strength_arg $ seed_arg))
+    Term.(term_result
+            (const run $ attack_scheme_arg $ width_arg $ strength_arg $ seed_arg
+             $ format_arg))
 
 (* ------------------------------------------------------------- analyze *)
 
 let analyze_cmd =
   let scheme_kind =
     Arg.enum
-      [ ("all", `All); ("rll", `Rll); ("pf", `Pf); ("antisat", `Antisat);
-        ("permnet", `Permnet) ]
+      [ ("all", None); ("rll", Some Job.Rll); ("pf", Some Job.Pf);
+        ("antisat", Some Job.Antisat); ("permnet", Some Job.Permnet) ]
   in
   let scheme_arg =
-    Arg.(value & opt scheme_kind `All & info [ "scheme" ] ~docv:"SCHEME"
+    Arg.(value & opt scheme_kind None & info [ "scheme" ] ~docv:"SCHEME"
            ~doc:"Scheme to analyze: rll, pf, antisat, permnet, or all.")
-  in
-  let width_arg =
-    Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Adder operand width in bits.")
   in
   let strength_arg =
     Arg.(value & opt int 4 & info [ "strength" ] ~docv:"S"
@@ -440,64 +200,24 @@ let analyze_cmd =
            ~doc:"Exit non-zero when any analyzed design has statically inferable \
                  key bits (CI guard for SAT-hard schemes).")
   in
-  let build_design width strength seed = function
-    | `Rll ->
-      let rng = Rb_util.Rng.create seed in
-      let l = Rb_netlist.Lock.xor_random ~rng ~key_bits:strength
-          (Rb_netlist.Circuits.adder ~width) in
-      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
-    | `Pf ->
-      let rng = Rb_util.Rng.create seed in
-      let space = 1 lsl (2 * width) in
-      let minterms = List.init strength (fun _ -> Rb_util.Rng.int rng space) in
-      let l = Rb_netlist.Lock.point_function ~minterms
-          (Rb_netlist.Circuits.adder ~width) in
-      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
-    | `Antisat ->
-      let rng = Rb_util.Rng.create seed in
-      let l = Rb_netlist.Lock.anti_sat ~rng (Rb_netlist.Circuits.adder ~width) in
-      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
-    | `Permnet ->
-      let rng = Rb_util.Rng.create seed in
-      let l = Rb_netlist.Lock.permutation_network ~rng ~layers:strength
-          (Rb_netlist.Circuits.adder ~width) in
-      (l.Rb_netlist.Lock.description, l.Rb_netlist.Lock.circuit)
-  in
   let run scheme width strength seed format jobs fail_on_inferable =
-    if width < 2 || width > 8 then Error (`Msg "width must be in 2..8")
-    else begin
-      let schemes =
-        match scheme with
-        | `All -> [ `Rll; `Pf; `Antisat; `Permnet ]
-        | (`Rll | `Pf | `Antisat | `Permnet) as s -> [ s ]
-      in
-      let designs = List.map (build_design width strength seed) schemes in
-      let reports =
-        Pool.with_pool ~jobs (fun pool ->
-            Pool.map_list pool
-              ~f:(fun (subject, c) -> Rb_analysis.Report.analyze ~subject c)
-              designs)
-      in
-      (match format with
-       | `Json ->
-         print_endline
-           (Json.to_string
-              (Json.Obj
-                 [ ("schema", Json.String "rb-analyze/1");
-                   ("reports",
-                    Json.List (List.map Rb_analysis.Report.to_json reports)) ]))
-       | `Text ->
-         List.iter (fun r -> Format.printf "%a@." Rb_analysis.Report.pp r) reports);
-      let inferable =
-        List.fold_left
-          (fun acc r -> acc + List.length r.Rb_analysis.Report.inferable)
-          0 reports
-      in
-      if fail_on_inferable && inferable > 0 then
-        Error (`Msg (Printf.sprintf "analyze: %d key bit%s statically inferable"
-                       inferable (if inferable = 1 then "" else "s")))
-      else Ok ()
-    end
+    Result.bind
+      (Result.map_error to_msg
+         (run_job ~jobs (Job.Analyze { scheme; width; strength; seed })))
+      (fun outcome ->
+        Render.print format outcome;
+        let reports =
+          match outcome with Outcome.Analyzed reports -> reports | _ -> []
+        in
+        let inferable =
+          List.fold_left
+            (fun acc r -> acc + List.length r.Rb_analysis.Report.inferable)
+            0 reports
+        in
+        if fail_on_inferable && inferable > 0 then
+          Error (`Msg (Printf.sprintf "analyze: %d key bit%s statically inferable"
+                         inferable (if inferable = 1 then "" else "s")))
+        else Ok ())
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -520,7 +240,7 @@ let custom_cmd =
     Arg.(value & opt int 256 & info [ "trace-length" ] ~docv:"N"
            ~doc:"Synthesized workload length (heavy-tailed generator).")
   in
-  let run file kind locked_fu_count minterms_per_fu trace_length seed =
+  let run file kind locked_fus minterms_per_fu trace_length seed =
     let contents =
       let ic = open_in file in
       let n = in_channel_length ic in
@@ -528,47 +248,14 @@ let custom_cmd =
       close_in ic;
       s
     in
-    let parsed =
-      if Filename.check_suffix file ".expr" then Rb_dfg.Expr.compile contents
-      else Rb_dfg.Dfg_text.of_string contents
+    let source =
+      if Filename.check_suffix file ".expr" then Job.Expr_source contents
+      else Job.Dfg_source contents
     in
-    Result.bind (Result.map_error (fun e -> `Msg e) parsed) (fun dfg ->
-        let schedule = Rb_sched.Scheduler.path_based dfg in
-        let allocation = Allocation.for_schedule schedule in
-        (* heavy-tailed synthetic workload for the user kernel *)
-        let rng = Rb_util.Rng.create seed in
-        let palette = [| 0; 3; 16; 64; 128; 255 |] in
-        let trace =
-          Rb_sim.Trace.generate dfg ~n:trace_length ~f:(fun _ _ ->
-              if Rb_util.Rng.int rng 10 < 8 then Rb_util.Rng.pick rng palette
-              else Rb_util.Rng.int rng 256)
-        in
-        let k = Kmatrix.build trace in
-        let fus = Allocation.fu_ids allocation kind in
-        let candidates = Array.of_list (Kmatrix.top_minterms ~kind k ~n:10) in
-        if List.length fus < locked_fu_count then
-          Error (`Msg (Printf.sprintf "only %d %s FUs allocated" (List.length fus)
-                         (Dfg.kind_label kind)))
-        else if Array.length candidates < minterms_per_fu then
-          Error (`Msg "not enough candidate minterms in the synthesized workload")
-        else begin
-          let spec =
-            { Rb_core.Codesign.scheme = Scheme.Sfll_rem;
-              locked_fus = List.filteri (fun i _ -> i < locked_fu_count) fus;
-              minterms_per_fu; candidates }
-          in
-          let solution = Rb_core.Codesign.heuristic k schedule allocation spec in
-          Format.printf "%a@.%a, allocated %a@." Dfg.pp dfg Schedule.pp schedule
-            Allocation.pp allocation;
-          Format.printf "co-designed locking: %a@." Config.pp
-            solution.Rb_core.Codesign.config;
-          Format.printf "expected application errors (Eqn. 2): %d over %d samples@."
-            solution.Rb_core.Codesign.errors trace_length;
-          let baseline = Rb_hls.Area_binding.bind schedule allocation in
-          Format.printf "same lock under area-aware binding:   %d@."
-            (Cost.expected_errors k baseline solution.Rb_core.Codesign.config);
-          Ok ()
-        end)
+    Result.map (Render.print `Text)
+      (Result.map_error to_msg
+         (run_job
+            (Job.Custom { source; kind; locked_fus; minterms_per_fu; trace_length; seed })))
   in
   Cmd.v
     (Cmd.info "custom" ~doc:"Co-design binding/locking for a user kernel in DFG text format.")
@@ -580,9 +267,8 @@ let custom_cmd =
 
 let export_dfg_cmd =
   let run name =
-    Result.map
-      (fun b -> print_string (Rb_dfg.Dfg_text.to_string b.Benchmark.dfg))
-      (lookup name)
+    Result.map (Render.print `Text)
+      (Result.map_error to_msg (run_job (Job.Export_dfg { benchmark = name })))
   in
   Cmd.v
     (Cmd.info "export-dfg"
@@ -592,14 +278,6 @@ let export_dfg_cmd =
 (* ---------------------------------------------------------- export-cnf *)
 
 let export_cnf_cmd =
-  let scheme_kind = Arg.enum [ ("rll", `Rll); ("pf", `Pf); ("permnet", `Permnet) ] in
-  let scheme_arg =
-    Arg.(value & opt scheme_kind `Pf & info [ "scheme" ] ~docv:"SCHEME"
-           ~doc:"Locking scheme: rll, pf (point function), or permnet.")
-  in
-  let width_arg =
-    Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Adder operand width in bits.")
-  in
   let strength_arg =
     Arg.(value & opt int 2 & info [ "strength" ] ~docv:"S"
            ~doc:"Key gates (rll), protected minterms (pf), or layers (permnet).")
@@ -609,48 +287,62 @@ let export_cnf_cmd =
            ~doc:"Emit the two-copy SAT-attack miter instead of a single copy.")
   in
   let run scheme width strength miter seed =
-    if width < 2 || width > 10 then Error (`Msg "width must be in 2..10")
-    else begin
-      let base = Rb_netlist.Circuits.adder ~width in
-      let rng = Rb_util.Rng.create seed in
-      let locked =
-        match scheme with
-        | `Rll -> Rb_netlist.Lock.xor_random ~rng ~key_bits:strength base
-        | `Pf ->
-          let space = 1 lsl (2 * width) in
-          let minterms = List.init strength (fun _ -> Rb_util.Rng.int rng space) in
-          Rb_netlist.Lock.point_function ~minterms base
-        | `Permnet -> Rb_netlist.Lock.permutation_network ~rng ~layers:strength base
-      in
-      let d =
-        if miter then Rb_sat.Dimacs.miter locked.Rb_netlist.Lock.circuit
-        else Rb_sat.Dimacs.of_netlist locked.Rb_netlist.Lock.circuit
-      in
-      print_string
-        (Rb_sat.Dimacs.to_string
-           ~comments:
-             [
-               Printf.sprintf "%s on a %d-bit adder%s" locked.Rb_netlist.Lock.description
-                 width
-                 (if miter then " (SAT-attack miter)" else "");
-             ]
-           d);
-      Ok ()
-    end
+    Result.map (Render.print `Text)
+      (Result.map_error to_msg
+         (run_job (Job.Export_cnf { scheme; width; strength; miter; seed })))
   in
   Cmd.v
     (Cmd.info "export-cnf" ~doc:"Emit a locked adder (or its attack miter) as DIMACS CNF.")
-    Term.(term_result (const run $ scheme_arg $ width_arg $ strength_arg $ miter_arg $ seed_arg))
+    Term.(term_result
+            (const run $ attack_scheme_arg $ width_arg $ strength_arg $ miter_arg
+             $ seed_arg))
 
 (* ----------------------------------------------------------------- dot *)
 
 let dot_cmd =
   let run name =
-    Result.map (fun b -> print_string (Dfg.to_dot b.Benchmark.dfg)) (lookup name)
+    Result.map (Render.print `Text)
+      (Result.map_error to_msg (run_job (Job.Dot { benchmark = name })))
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Print the benchmark's DFG in Graphviz format.")
     Term.(term_result (const run $ benchmark_arg))
+
+(* --------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of serving \
+                 stdin/stdout.")
+  in
+  let batch_arg =
+    Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"N"
+           ~doc:"Greedy batch cap per dispatch (default: 4x the worker count).")
+  in
+  let run jobs socket batch_size =
+    let cancel = Limits.new_cancel () in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Limits.cancel cancel));
+    (if Sys.unix then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let stop =
+      Pool.with_pool ~jobs (fun pool ->
+          let limit = Limits.make ~cancel () in
+          let executor = Executor.create ~limit ~pool () in
+          match socket with
+          | Some path -> Serve.run_socket ~executor ~cancel ?batch_size ~path ()
+          | None ->
+            Serve.run ~executor ~cancel ?batch_size ~input:Unix.stdin ~output:stdout ())
+    in
+    match stop with Serve.Eof -> Ok () | Serve.Cancelled -> exit 130
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve rb-job/1 requests as newline-delimited JSON: one job per input \
+             line, one rb-result/1 line per job, dispatched in batches over the \
+             worker pool with a content-addressed result cache. SIGINT drains and \
+             exits 130.")
+    Term.(term_result (const run $ jobs_arg $ socket_arg $ batch_arg))
 
 let () =
   let info =
@@ -661,4 +353,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; bind_cmd; lint_cmd; analyze_cmd; custom_cmd;
-            attack_cmd; export_cnf_cmd; export_dfg_cmd; dot_cmd ]))
+            attack_cmd; export_cnf_cmd; export_dfg_cmd; dot_cmd; serve_cmd ]))

@@ -1,0 +1,45 @@
+(** Runs {!Job.t} values against the library pipelines.
+
+    The executor is the one place that wires jobs into the binding,
+    locking, lint, analysis and attack code — every CLI subcommand and
+    every serve request goes through {!run}, so the pipeline exists
+    exactly once. It owns:
+
+    - a {!Rb_util.Pool} for the fan-out the old subcommands did
+      themselves (per-benchmark lints, per-scheme analyses); nested
+      maps run inline, so [run] itself may be called from a pool task
+      (the serve batch path);
+    - a {!Store.t} content-addressed cache, keyed by job and artifact
+      digests, so repeated work (the same benchmark context under two
+      binders, the same locked adder under attack and export-cnf) is
+      computed once;
+    - an optional {!Rb_util.Limits.t} threaded into the budgeted
+      pipelines (SAT attack, analysis); the CLI passes none — keeping
+      its outputs byte-identical to the pre-service commands — while
+      serve passes a cancel flag so SIGINT interrupts long jobs.
+
+    Failures are values: [run] never raises and never exits. Job
+    errors (unknown benchmark, infeasible lock, tripped budget) come
+    back as {!Error.t}; unexpected exceptions are folded into
+    [Internal]. Successful outcomes are cached by job digest; failures
+    are never cached, so a transient limit does not poison the
+    store. *)
+
+type t
+
+val create :
+  ?limit:Rb_util.Limits.t -> ?store:Store.t -> pool:Rb_util.Pool.t -> unit -> t
+(** Registers the built-in binders as a side effect (the registry is
+    idempotent). [store] defaults to a fresh empty store. *)
+
+val store : t -> Store.t
+val pool : t -> Rb_util.Pool.t
+
+val run : t -> Job.t -> (Outcome.t, Error.t) result
+(** Validate, consult the store, execute on a miss. Also counts one
+    [serve/jobs] on the {!Rb_util.Metrics} registry. *)
+
+val run_batch : t -> Job.t array -> ((Outcome.t, Error.t) result * float) array
+(** [run] over the pool, preserving order; each slot carries the
+    job's wall-clock seconds (for latency accounting — wall time is
+    never part of an {!Outcome.t}). *)

@@ -1,0 +1,161 @@
+module Json = Rb_util.Json
+module Limits = Rb_util.Limits
+module Pool = Rb_util.Pool
+
+type stop = Eof | Cancelled
+
+(* ------------------------------------------------------------ protocol *)
+
+let respond executor line =
+  let id, result =
+    match Json.of_string line with
+    | Error msg ->
+      (Json.Null, Error (Error.make Error.Invalid_request ("parse error: " ^ msg)))
+    | Ok v ->
+      let id = Option.value ~default:Json.Null (Json.member "id" v) in
+      let result =
+        match Json.member "schema" v with
+        | Some (Json.String "rb-job/1") -> (
+          match Job.of_json v with
+          | Ok job -> Result.map Render.result_to_json (Executor.run executor job)
+          | Error e -> Error e)
+        | Some (Json.String s) ->
+          Error (Error.make Error.Invalid_request (Printf.sprintf "unsupported schema %S" s))
+        | _ ->
+          Error (Error.make Error.Invalid_request "missing required field \"schema\"")
+      in
+      (id, result)
+  in
+  let body =
+    match result with Ok ok -> ("ok", ok) | Error e -> ("error", Error.to_json e)
+  in
+  Json.to_string
+    (Json.Obj [ ("schema", Json.String "rb-result/1"); ("id", id); body ])
+
+(* -------------------------------------------------------- line reading *)
+
+(* Raw-fd reading (no stdlib buffering — buffered bytes would be
+   invisible to the select probe below). *)
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable pending : string;
+  mutable eof : bool;
+}
+
+let take_line r =
+  match String.index_opt r.pending '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub r.pending 0 i in
+    r.pending <- String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+    Some line
+
+let rec refill r ~block ~cancel =
+  if Limits.cancelled cancel then `Cancelled
+  else begin
+    let ready =
+      block
+      ||
+      match Unix.select [ r.fd ] [] [] 0.0 with
+      | [], _, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if not ready then `Would_block
+    else
+      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 ->
+        r.eof <- true;
+        `Data
+      | n ->
+        r.pending <- r.pending ^ Bytes.sub_string r.chunk 0 n;
+        `Data
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r ~block ~cancel
+  end
+
+let rec next_line r ~block ~cancel =
+  match take_line r with
+  | Some line -> `Line line
+  | None ->
+    if r.eof then
+      if r.pending = "" then `Eof
+      else begin
+        (* final unterminated line *)
+        let line = r.pending in
+        r.pending <- "";
+        `Line line
+      end
+    else (
+      match refill r ~block ~cancel with
+      | `Data -> next_line r ~block ~cancel
+      | `Would_block -> `Drained
+      | `Cancelled -> `Cancelled)
+
+(* Greedy batch: block for the first line, then take whatever is
+   already buffered or readable without blocking, up to the cap. *)
+let gather r ~cancel ~max_batch =
+  let rec go acc n =
+    if n >= max_batch then List.rev acc
+    else
+      match next_line r ~block:(acc = []) ~cancel with
+      | `Line l -> go (l :: acc) (n + 1)
+      | `Drained | `Eof | `Cancelled -> List.rev acc
+  in
+  go [] 0
+
+(* ------------------------------------------------------------ the loop *)
+
+let run ~executor ?(cancel = Limits.new_cancel ()) ?batch_size ~input ~output () =
+  let pool = Executor.pool executor in
+  let max_batch =
+    match batch_size with Some n -> max 1 n | None -> max 1 (4 * Pool.jobs pool)
+  in
+  let r = { fd = input; chunk = Bytes.create 65536; pending = ""; eof = false } in
+  let rec loop () =
+    if Limits.cancelled cancel then Cancelled
+    else begin
+      let batch = gather r ~cancel ~max_batch in
+      match List.filter (fun l -> String.trim l <> "") batch with
+      | [] ->
+        if Limits.cancelled cancel then Cancelled
+        else if r.eof && r.pending = "" then Eof
+        else loop ()
+      | lines ->
+        let responses = Pool.map_list pool ~f:(respond executor) lines in
+        List.iter
+          (fun s ->
+            output_string output s;
+            output_char output '\n')
+          responses;
+        flush output;
+        loop ()
+    end
+  in
+  loop ()
+
+let run_socket ~executor ?(cancel = Limits.new_cancel ()) ?batch_size ~path () =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let finally () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  let rec accept_loop () =
+    if Limits.cancelled cancel then Cancelled
+    else
+      match Unix.accept sock with
+      | conn, _ ->
+        let out = Unix.out_channel_of_descr conn in
+        (* A client that hangs up mid-batch only loses its own
+           connection; the daemon keeps accepting. *)
+        (try ignore (run ~executor ~cancel ?batch_size ~input:conn ~output:out ())
+         with Sys_error _ | Unix.Unix_error _ -> ());
+        (try flush out with Sys_error _ -> ());
+        (try Unix.close conn with Unix.Unix_error _ -> ());
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  Fun.protect ~finally accept_loop

@@ -1,0 +1,57 @@
+(** The NDJSON job daemon behind [bindlock serve].
+
+    One request per line on the way in, one response per line on the
+    way out. Requests are [rb-job/1] envelopes — a {!Job} encoding
+    plus [{"schema": "rb-job/1", "id": ..}] — and every line gets
+    exactly one [rb-result/1] answer with the request's [id] echoed
+    back and either an ["ok"] member (the {!Render.result_to_json}
+    form of the outcome) or an ["error"] member ({!Error.to_json}).
+    Malformed lines (bad JSON, wrong schema, invalid job) produce
+    error responses, never a dead connection.
+
+    Input is read from a raw file descriptor with [Unix.select]-based
+    greedy batching: block for the first line, then drain whatever
+    else has already arrived (up to a batch cap) and run the batch on
+    the executor's pool. Responses are written in request order —
+    output order equals input order regardless of [--jobs] — and
+    flushed once per batch. A pipe of 10^5 jobs therefore saturates
+    the pool without any client-side windowing, while an interactive
+    client still gets each answer as soon as it is computed.
+
+    Cancellation rides the shared {!Rb_util.Limits} cancel flag: the
+    CLI's SIGINT handler sets it, blocking reads return [EINTR] and
+    re-check it, and in-flight SAT attacks tied to the same flag stop
+    at their next budget check. *)
+
+type stop =
+  | Eof  (** input exhausted; every request was answered *)
+  | Cancelled  (** the cancel flag was raised (SIGINT) *)
+
+val respond : Executor.t -> string -> string
+(** Process one request line into one response line (no trailing
+    newline). Exposed for tests and single-shot callers; [run] is
+    this over batches. *)
+
+val run :
+  executor:Executor.t ->
+  ?cancel:bool Atomic.t ->
+  ?batch_size:int ->
+  input:Unix.file_descr ->
+  output:out_channel ->
+  unit ->
+  stop
+(** Serve [input] until EOF or cancellation. [batch_size] caps the
+    greedy batch (default [4 * pool jobs]). Blank lines are skipped.
+    The final unterminated line, if any, is processed. *)
+
+val run_socket :
+  executor:Executor.t ->
+  ?cancel:bool Atomic.t ->
+  ?batch_size:int ->
+  path:string ->
+  unit ->
+  stop
+(** Listen on a Unix-domain socket at [path] (replacing any stale
+    socket file) and serve connections sequentially, each as one
+    {!run}. Returns when cancelled; the socket file is removed on the
+    way out. *)

@@ -1,0 +1,93 @@
+module Metrics = Rb_util.Metrics
+
+type context = {
+  benchmark : Rb_workload.Benchmark.t;
+  schedule : Rb_sched.Schedule.t;
+  trace : Rb_sim.Trace.t;
+  allocation : Rb_hls.Allocation.t;
+  k : Rb_sim.Kmatrix.t;
+  profile : Rb_hls.Profile.t;
+}
+
+type artifact =
+  | Context of context
+  | Locked of Rb_netlist.Lock.locked
+  | Text of string
+  | Reports of Rb_lint.Report.t list
+  | Analysis of Rb_analysis.Report.t
+  | Value of Outcome.t
+
+type entry = Ready of artifact | Pending
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int }
+
+let cache_hits = Metrics.counter ~scope:"cache" "hits"
+let cache_misses = Metrics.counter ~scope:"cache" "misses"
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let rec find_or_compute t ~key f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some (Ready artifact) ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.mutex;
+    Metrics.incr cache_hits;
+    artifact
+  | Some Pending ->
+    (* Another worker is computing this key: wait for it to settle,
+       then re-inspect. The loop (rather than a single wait) covers
+       both spurious wakeups and the computing worker failing, in
+       which case the entry is gone and we compute it ourselves. *)
+    Condition.wait t.cond t.mutex;
+    Mutex.unlock t.mutex;
+    find_or_compute t ~key f
+  | None ->
+    Hashtbl.replace t.table key Pending;
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.mutex;
+    Metrics.incr cache_misses;
+    let result =
+      try f ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.mutex;
+        Hashtbl.remove t.table key;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        Printexc.raise_with_backtrace e bt
+    in
+    Mutex.lock t.mutex;
+    Hashtbl.replace t.table key (Ready result);
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    result
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { hits = t.hits; misses = t.misses } in
+  Mutex.unlock t.mutex;
+  s
+
+let size t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold (fun _ e acc -> match e with Ready _ -> acc + 1 | Pending -> acc) t.table 0
+  in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,64 @@
+(** Content-addressed artifact store with single-flight computation.
+
+    The executor keys every intermediate it produces — parsed
+    benchmark contexts, locked netlists, lint/analysis reports, CNF
+    text, whole job outcomes — by a digest of its canonicalized inputs
+    ({!Rb_util.Digest}), so a workload that revisits the same
+    (benchmark, seed, scheme, binder, budget) combination pays for the
+    pipeline once.
+
+    Lookups are {e single-flight}: when several pool workers ask for
+    the same missing key concurrently, exactly one computes while the
+    rest block on a condition variable and receive the finished
+    artifact. That discipline is what keeps the [cache/hits] and
+    [cache/misses] counters deterministic across [--jobs] — each
+    distinct key accounts for exactly one miss no matter how many
+    workers race for it, so the serve bench's hit rate is a property
+    of the workload, not of scheduling. A computation that raises
+    removes its pending entry (every waiter re-raises is {e not} the
+    contract — waiters retry the compute themselves, each counting its
+    own miss), so failures are never cached.
+
+    The store is unbounded and in-memory; it lives as long as its
+    executor. Sizing it is the workload's job — the serve bench's
+    palette of ~40 distinct jobs peaks well under a megabyte. *)
+
+type context = {
+  benchmark : Rb_workload.Benchmark.t;
+  schedule : Rb_sched.Schedule.t;
+  trace : Rb_sim.Trace.t;
+  allocation : Rb_hls.Allocation.t;
+  k : Rb_sim.Kmatrix.t;
+  profile : Rb_hls.Profile.t;
+}
+(** Everything derived from (benchmark, seed) before binding. *)
+
+type artifact =
+  | Context of context
+  | Locked of Rb_netlist.Lock.locked
+  | Text of string
+  | Reports of Rb_lint.Report.t list
+  | Analysis of Rb_analysis.Report.t
+  | Value of Outcome.t
+
+type t
+
+val create : unit -> t
+
+val find_or_compute : t -> key:string -> (unit -> artifact) -> artifact
+(** Return the cached artifact for [key], or run the thunk (at most
+    one concurrent run per key) and cache its result. Exceptions from
+    the thunk propagate to the computing caller and leave the key
+    absent; concurrent waiters then recompute. Counts one
+    [cache/hits] per ready lookup and one [cache/misses] per compute
+    attempt, both on the process-wide {!Rb_util.Metrics} registry and
+    on the store's own {!stats}. *)
+
+type stats = { hits : int; misses : int }
+
+val stats : t -> stats
+(** This store's own tallies (unlike the Metrics counters, unaffected
+    by other stores in the process). *)
+
+val size : t -> int
+(** Number of ready entries. *)

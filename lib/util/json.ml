@@ -73,6 +73,49 @@ let to_string t =
   go t;
   Buffer.contents buf
 
+let to_string_pretty t =
+  let buf = Buffer.create 256 in
+  let pad depth = Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> add_float buf f
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (name, value) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape name);
+          Buffer.add_string buf "\": ";
+          go (depth + 1) value)
+        fields;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------- parsing *)
 
 exception Parse_error of int * string

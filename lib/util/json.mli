@@ -31,6 +31,13 @@ val to_string : t -> string
     finite floats with up to six significant digits; non-finite floats
     as [null] — use {!float_or_string} where they are meaningful. *)
 
+val to_string_pretty : t -> string
+(** Render with a stable 2-space indent: containers break one element
+    per line, empty containers stay ["[]"]/["{}"], scalars format
+    exactly as {!to_string} does. No trailing newline. The CLI's
+    [--format json] surfaces use this; machine streams (NDJSON,
+    BENCH.json) stay on the compact {!to_string}. *)
+
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document. Covers everything {!to_string}
     emits plus ordinary interchange JSON: whitespace, all escape

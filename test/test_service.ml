@@ -1,0 +1,598 @@
+(* Tests for the service layer: job codec, content-addressed store,
+   executor determinism, the serve protocol, and golden-output guards
+   holding the thin-client renderers to the pre-service CLI bytes. *)
+
+module Json = Rb_util.Json
+module Pool = Rb_util.Pool
+module Job = Rb_service.Job
+module Error = Rb_service.Error
+module Store = Rb_service.Store
+module Executor = Rb_service.Executor
+module Outcome = Rb_service.Outcome
+module Render = Rb_service.Render
+module Serve = Rb_service.Serve
+
+let job_testable =
+  Alcotest.testable
+    (fun fmt j -> Format.pp_print_string fmt (Json.to_string (Job.to_json j)))
+    ( = )
+
+let decode_ok v =
+  match Job.of_json v with
+  | Ok job -> job
+  | Error e -> Alcotest.failf "unexpected decode error: %s" e.Error.message
+
+let decode_error v =
+  match Job.of_json v with
+  | Ok job -> Alcotest.failf "expected an error, decoded %s" (Job.op job)
+  | Error e -> e
+
+let obj fields = Json.Obj fields
+
+(* ------------------------------------------------------------- Job codec *)
+
+let test_job_defaults () =
+  let job = decode_ok (obj [ ("op", Json.String "bind"); ("benchmark", Json.String "dct") ]) in
+  Alcotest.check job_testable "historical CLI defaults"
+    (Job.Bind
+       {
+         benchmark = "dct";
+         seed = 1789;
+         binder = "codesign";
+         kind = Rb_dfg.Dfg.Mul;
+         locked_fus = 2;
+         minterms_per_fu = 2;
+       })
+    job;
+  let attack = decode_ok (obj [ ("op", Json.String "attack") ]) in
+  Alcotest.check job_testable "attack defaults"
+    (Job.Attack { scheme = Job.Pf; width = 4; strength = 2; seed = 1789; max_iterations = 20_000 })
+    attack
+
+let test_job_envelope_ignored () =
+  (* The serve envelope rides alongside the job fields; decode must not
+     trip over them. *)
+  let job =
+    decode_ok
+      (obj
+         [
+           ("schema", Json.String "rb-job/1");
+           ("id", Json.Int 7);
+           ("op", Json.String "list");
+         ])
+  in
+  Alcotest.check job_testable "envelope fields ignored" Job.List_benchmarks job
+
+let test_job_validation () =
+  let check_msg name v expected =
+    let e = decode_error v in
+    Alcotest.(check string) (name ^ " code") "invalid-request" (Error.code_label e.Error.code);
+    Alcotest.(check string) (name ^ " message") expected e.Error.message
+  in
+  check_msg "missing op" (obj []) "missing required field \"op\"";
+  check_msg "unknown op" (obj [ ("op", Json.String "frobnicate") ]) "unknown op \"frobnicate\"";
+  check_msg "missing benchmark" (obj [ ("op", Json.String "show") ])
+    "missing required field \"benchmark\"";
+  check_msg "width bounds"
+    (obj [ ("op", Json.String "attack"); ("width", Json.Int 99) ])
+    "width must be in 2..8";
+  check_msg "export-cnf width bounds"
+    (obj [ ("op", Json.String "export-cnf"); ("width", Json.Int 11) ])
+    "width must be in 2..10";
+  check_msg "strength bounds"
+    (obj [ ("op", Json.String "analyze"); ("strength", Json.Int 0) ])
+    "strength must be in 1..256";
+  check_msg "antisat not attackable"
+    (obj [ ("op", Json.String "attack"); ("scheme", Json.String "antisat") ])
+    "scheme must be rll, pf, or permnet";
+  check_msg "field type"
+    (obj [ ("op", Json.String "bind"); ("benchmark", Json.String "dct"); ("seed", Json.String "x") ])
+    "field \"seed\" must be an integer";
+  check_msg "not an object" (Json.List []) "missing required field \"op\""
+
+let test_job_digest () =
+  (* Defaulted and explicit spellings of the same job share a content
+     address; changing any meaningful field moves it. *)
+  let terse = decode_ok (obj [ ("op", Json.String "bind"); ("benchmark", Json.String "dct") ]) in
+  let explicit =
+    decode_ok
+      (obj
+         [
+           ("minterms_per_fu", Json.Int 2);
+           ("seed", Json.Int 1789);
+           ("benchmark", Json.String "dct");
+           ("op", Json.String "bind");
+           ("kind", Json.String "mul");
+           ("binder", Json.String "codesign");
+           ("locked_fus", Json.Int 2);
+         ])
+  in
+  Alcotest.(check string) "spelling-independent" (Job.digest terse) (Job.digest explicit);
+  let reseeded =
+    decode_ok
+      (obj [ ("op", Json.String "bind"); ("benchmark", Json.String "dct"); ("seed", Json.Int 1790) ])
+  in
+  Alcotest.(check bool) "seed changes the address" true
+    (Job.digest terse <> Job.digest reseeded)
+
+(* QCheck generator over the closed variant; every produced job passes
+   [Job.validate], so the round-trip property exercises [of_json]'s full
+   decode-and-validate path. *)
+let job_gen =
+  let open QCheck2.Gen in
+  let name = oneofl [ "dct"; "fir"; "fft"; "nope"; "x 1" ] in
+  let seed = int_range 0 10_000 in
+  let scheme = oneofl [ Job.Rll; Job.Pf; Job.Antisat; Job.Permnet ] in
+  let netlist_scheme = oneofl [ Job.Rll; Job.Pf; Job.Permnet ] in
+  let kind = oneofl [ Rb_dfg.Dfg.Add; Rb_dfg.Dfg.Mul ] in
+  let fus = int_range 1 64 in
+  oneof
+    [
+      return Job.List_benchmarks;
+      map2 (fun benchmark seed -> Job.Show { benchmark; seed }) name seed;
+      (let* benchmark = name and* seed = seed and* kind = kind in
+       let* binder = oneofl [ "codesign"; "area"; "obf" ]
+       and* locked_fus = fus
+       and* minterms_per_fu = fus in
+       return (Job.Bind { benchmark; seed; binder; kind; locked_fus; minterms_per_fu }));
+      (let* benchmark = opt name
+       and* seed = seed
+       and* locked_fus = fus
+       and* minterms_per_fu = fus
+       and* min_lambda = opt (oneofl [ 0.5; 1.; 2.25 ]) in
+       return (Job.Lint { benchmark; seed; locked_fus; minterms_per_fu; min_lambda }));
+      (let* scheme = opt scheme and* width = int_range 2 8 and* strength = int_range 1 256 and* seed = seed in
+       return (Job.Analyze { scheme; width; strength; seed }));
+      (let* scheme = netlist_scheme
+       and* width = int_range 2 8
+       and* strength = int_range 1 256
+       and* seed = seed
+       and* max_iterations = int_range 1 10_000_000 in
+       return (Job.Attack { scheme; width; strength; seed; max_iterations }));
+      (let* text = string_size ~gen:printable (int_range 0 40)
+       and* expr = bool
+       and* kind = kind
+       and* locked_fus = fus
+       and* minterms_per_fu = fus
+       and* trace_length = int_range 1 1_000_000
+       and* seed = seed in
+       let source = if expr then Job.Expr_source text else Job.Dfg_source text in
+       return (Job.Custom { source; kind; locked_fus; minterms_per_fu; trace_length; seed }));
+      (let* scheme = netlist_scheme
+       and* width = int_range 2 10
+       and* strength = int_range 1 256
+       and* miter = bool
+       and* seed = seed in
+       return (Job.Export_cnf { scheme; width; strength; miter; seed }));
+      map (fun benchmark -> Job.Export_dfg { benchmark }) name;
+      map (fun benchmark -> Job.Dot { benchmark }) name;
+    ]
+
+let qcheck_job_roundtrip =
+  QCheck2.Test.make ~name:"Job.of_json inverts to_json" ~count:500 job_gen
+    (fun job -> Job.of_json (Job.to_json job) = Ok job)
+
+let qcheck_job_digest_stable =
+  QCheck2.Test.make ~name:"Job.digest survives a decode round-trip" ~count:200 job_gen
+    (fun job ->
+      match Job.of_json (Job.to_json job) with
+      | Ok job' -> Job.digest job = Job.digest job'
+      | Error _ -> false)
+
+(* ----------------------------------------------------------------- Store *)
+
+let test_store_single_flight () =
+  let store = Store.create () in
+  let computed = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computed;
+    Store.Text "payload"
+  in
+  let first = Store.find_or_compute store ~key:"k" compute in
+  let second = Store.find_or_compute store ~key:"k" compute in
+  (match (first, second) with
+  | Store.Text a, Store.Text b ->
+      Alcotest.(check string) "same artifact" a b
+  | _ -> Alcotest.fail "unexpected artifact shape");
+  Alcotest.(check int) "computed once" 1 (Atomic.get computed);
+  let { Store.hits; misses } = Store.stats store in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "one ready entry" 1 (Store.size store)
+
+let test_store_failure_not_cached () =
+  let store = Store.create () in
+  let attempts = Atomic.make 0 in
+  let flaky () =
+    Atomic.incr attempts;
+    if Atomic.get attempts = 1 then failwith "transient";
+    Store.Text "recovered"
+  in
+  (match Store.find_or_compute store ~key:"k" flaky with
+  | exception Failure m -> Alcotest.(check string) "error propagates" "transient" m
+  | _ -> Alcotest.fail "first attempt should raise");
+  Alcotest.(check int) "failure leaves no entry" 0 (Store.size store);
+  (match Store.find_or_compute store ~key:"k" flaky with
+  | Store.Text s -> Alcotest.(check string) "retry recomputes" "recovered" s
+  | _ -> Alcotest.fail "unexpected artifact shape");
+  let { Store.hits; misses } = Store.stats store in
+  Alcotest.(check int) "every attempt is a miss" 2 misses;
+  Alcotest.(check int) "no hits" 0 hits
+
+let test_store_concurrent_single_flight () =
+  let store = Store.create () in
+  let computed = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computed;
+    Domain.cpu_relax ();
+    Store.Text "shared"
+  in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let results =
+        Pool.map_array pool
+          ~f:(fun _ ->
+            match Store.find_or_compute store ~key:"hot" compute with
+            | Store.Text s -> s
+            | _ -> "?")
+          (Array.init 16 Fun.id)
+      in
+      Array.iter (fun s -> Alcotest.(check string) "all waiters agree" "shared" s) results);
+  Alcotest.(check int) "exactly one compute" 1 (Atomic.get computed);
+  let { Store.hits; misses } = Store.stats store in
+  Alcotest.(check int) "one miss regardless of racing workers" 1 misses;
+  Alcotest.(check int) "everyone else hits" 15 hits
+
+(* -------------------------------------------------------------- Executor *)
+
+let with_executor ?(jobs = 1) f =
+  Pool.with_pool ~jobs (fun pool -> f (Executor.create ~pool ()))
+
+let render_result = function
+  | Ok outcome -> Render.to_text outcome
+  | Error e -> "error: " ^ Error.code_label e.Error.code ^ ": " ^ e.Error.message
+
+let test_executor_cache_determinism () =
+  with_executor (fun ex ->
+      let job =
+        Job.Bind
+          {
+            benchmark = "dct";
+            seed = 1789;
+            binder = "codesign";
+            kind = Rb_dfg.Dfg.Mul;
+            locked_fus = 2;
+            minterms_per_fu = 2;
+          }
+      in
+      let first = render_result (Executor.run ex job) in
+      let before = Store.stats (Executor.store ex) in
+      let second = render_result (Executor.run ex job) in
+      let after = Store.stats (Executor.store ex) in
+      Alcotest.(check string) "cache hit renders identically" first second;
+      Alcotest.(check int) "second run misses nothing" before.Store.misses after.Store.misses;
+      Alcotest.(check bool) "second run hits" true (after.Store.hits > before.Store.hits))
+
+let test_executor_errors () =
+  with_executor (fun ex ->
+      (match Executor.run ex (Job.Show { benchmark = "nope"; seed = 1789 }) with
+      | Error e ->
+          Alcotest.(check string) "code" "unknown-target" (Error.code_label e.Error.code);
+          Alcotest.(check string) "message" "unknown benchmark \"nope\"" e.Error.message
+      | Ok _ -> Alcotest.fail "expected unknown-target");
+      match
+        Executor.run ex
+          (Job.Bind
+             {
+               benchmark = "nope";
+               seed = 1789;
+               binder = "bogus";
+               kind = Rb_dfg.Dfg.Mul;
+               locked_fus = 2;
+               minterms_per_fu = 2;
+             })
+      with
+      | Error e ->
+          Alcotest.(check string) "binder resolves first" "unknown binder \"bogus\""
+            e.Error.message
+      | Ok _ -> Alcotest.fail "expected unknown-target")
+
+(* A small mixed palette: cheap jobs only, with deliberate duplicates
+   (cache hits) and failures mixed in. *)
+let mixed_jobs () =
+  let base =
+    [
+      Job.List_benchmarks;
+      Job.Show { benchmark = "dct"; seed = 1789 };
+      Job.Show { benchmark = "fir"; seed = 1790 };
+      Job.Show { benchmark = "nope"; seed = 1789 };
+      Job.Bind
+        {
+          benchmark = "dct";
+          seed = 1789;
+          binder = "codesign";
+          kind = Rb_dfg.Dfg.Mul;
+          locked_fus = 2;
+          minterms_per_fu = 2;
+        };
+      Job.Bind
+        {
+          benchmark = "fir";
+          seed = 1789;
+          binder = "area";
+          kind = Rb_dfg.Dfg.Add;
+          locked_fus = 1;
+          minterms_per_fu = 2;
+        };
+      Job.Lint
+        { benchmark = Some "dct"; seed = 1789; locked_fus = 2; minterms_per_fu = 2; min_lambda = None };
+      Job.Analyze { scheme = Some Job.Rll; width = 4; strength = 2; seed = 1789 };
+      Job.Attack { scheme = Job.Rll; width = 3; strength = 2; seed = 1789; max_iterations = 20_000 };
+      Job.Export_cnf { scheme = Job.Pf; width = 4; strength = 2; miter = false; seed = 1789 };
+      Job.Export_dfg { benchmark = "dct" };
+      Job.Dot { benchmark = "fir" };
+      Job.Show { benchmark = "dct"; seed = 1790 };
+    ]
+  in
+  (* 13 distinct jobs cycled to 52 — plenty of repeats for the cache. *)
+  Array.init 52 (fun i -> List.nth base (i mod List.length base))
+
+let test_executor_jobs_invariant () =
+  let run jobs =
+    with_executor ~jobs (fun ex ->
+        let results = Executor.run_batch ex (mixed_jobs ()) in
+        Array.to_list (Array.map (fun (r, _wall) -> render_result r) results))
+  in
+  let sequential = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check (list string)) "rendered outputs invariant across jobs" sequential parallel
+
+let test_executor_batch_cache_rate () =
+  with_executor ~jobs:2 (fun ex ->
+      ignore (Executor.run_batch ex (mixed_jobs ()));
+      let { Store.hits; misses } = Store.stats (Executor.store ex) in
+      let rate = float_of_int hits /. float_of_int (hits + misses) in
+      Alcotest.(check bool)
+        (Printf.sprintf "hit rate %.2f above floor" rate)
+        true (rate >= 0.30))
+
+(* ----------------------------------------------------------------- Serve *)
+
+let parse_response line =
+  match Json.of_string line with
+  | Ok (Json.Obj fields) -> fields
+  | Ok _ -> Alcotest.failf "response is not an object: %s" line
+  | Error e -> Alcotest.failf "response is not JSON (%s): %s" e line
+
+let field name fields =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S" name
+
+let error_member fields =
+  match field "error" fields with
+  | Json.Obj e ->
+      let code = match field "code" e with Json.String s -> s | _ -> "?" in
+      let message = match field "message" e with Json.String s -> s | _ -> "?" in
+      (code, message)
+  | _ -> Alcotest.fail "error member is not an object"
+
+let test_serve_respond () =
+  with_executor (fun ex ->
+      let respond s = parse_response (Serve.respond ex s) in
+      let ok = respond {|{"schema":"rb-job/1","id":42,"op":"list"}|} in
+      Alcotest.(check string) "result schema" "rb-result/1"
+        (match field "schema" ok with Json.String s -> s | _ -> "?");
+      Alcotest.(check bool) "id echoed" true (field "id" ok = Json.Int 42);
+      Alcotest.(check bool) "ok member present" true (List.mem_assoc "ok" ok);
+      Alcotest.(check bool) "no error member" false (List.mem_assoc "error" ok);
+
+      let bad_json = respond "{" in
+      Alcotest.(check bool) "parse failure gets a null id" true (field "id" bad_json = Json.Null);
+      let code, message = error_member bad_json in
+      Alcotest.(check string) "parse failure code" "invalid-request" code;
+      Alcotest.(check bool) "parse failure message" true
+        (String.length message >= 12 && String.sub message 0 12 = "parse error:");
+
+      let code, message = error_member (respond {|{"schema":"rb-job/2","id":1,"op":"list"}|}) in
+      Alcotest.(check string) "schema mismatch code" "invalid-request" code;
+      Alcotest.(check string) "schema mismatch message" {|unsupported schema "rb-job/2"|} message;
+
+      let code, _ = error_member (respond {|{"id":1,"op":"list"}|}) in
+      Alcotest.(check string) "missing schema" "invalid-request" code;
+
+      let code, message =
+        error_member (respond {|{"schema":"rb-job/1","id":2,"op":"show","benchmark":"nope"}|})
+      in
+      Alcotest.(check string) "execution error code" "unknown-target" code;
+      Alcotest.(check string) "execution error message" {|unknown benchmark "nope"|} message;
+
+      let code, message =
+        error_member (respond {|{"schema":"rb-job/1","id":3,"op":"attack","width":99}|})
+      in
+      Alcotest.(check string) "validation error code" "invalid-request" code;
+      Alcotest.(check string) "validation error message" "width must be in 2..8" message)
+
+let test_serve_run_pipe () =
+  let requests =
+    [
+      {|{"schema":"rb-job/1","id":0,"op":"list"}|};
+      {|{"schema":"rb-job/1","id":1,"op":"show","benchmark":"dct"}|};
+      "";
+      {|{"schema":"rb-job/1","id":2,"op":"bind","benchmark":"dct"}|};
+      {|{"schema":"rb-job/1","id":3,"op":"bind","benchmark":"dct"}|};
+      "not json at all";
+      {|{"schema":"rb-job/1","id":5,"op":"show","benchmark":"nope"}|};
+      {|{"schema":"rb-job/1","id":6,"op":"analyze","scheme":"rll","strength":2}|};
+      {|{"schema":"rb-job/1","id":7,"op":"export-dfg","benchmark":"dct"}|};
+      {|{"schema":"rb-job/1","id":8,"op":"dot","benchmark":"fir"}|};
+      {|{"schema":"rb-job/1","id":9,"op":"list"}|};
+    ]
+  in
+  let read_fd, write_fd = Unix.pipe ~cloexec:true () in
+  let payload = String.concat "\n" requests ^ "\n" in
+  let wrote = Unix.write_substring write_fd payload 0 (String.length payload) in
+  Alcotest.(check int) "request payload fits the pipe buffer" (String.length payload) wrote;
+  Unix.close write_fd;
+  let out_path = Filename.temp_file "rb_serve_test" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out_path)
+    (fun () ->
+      let oc = open_out out_path in
+      let stop =
+        with_executor ~jobs:2 (fun ex ->
+            Serve.run ~executor:ex ~input:read_fd ~output:oc ())
+      in
+      close_out oc;
+      Unix.close read_fd;
+      Alcotest.(check bool) "stops at EOF" true (stop = Serve.Eof);
+      let ic = open_in out_path in
+      let lines = In_channel.input_lines ic in
+      close_in ic;
+      (* one response per non-blank request line, in request order *)
+      Alcotest.(check int) "one response per request" 10 (List.length lines);
+      let ids =
+        List.map (fun line -> field "id" (parse_response line)) lines
+      in
+      Alcotest.(check bool) "ids echo in request order" true
+        (ids
+        = [
+            Json.Int 0; Json.Int 1; Json.Int 2; Json.Int 3; Json.Null; Json.Int 5;
+            Json.Int 6; Json.Int 7; Json.Int 8; Json.Int 9;
+          ]);
+      List.iter
+        (fun line ->
+          let fields = parse_response line in
+          Alcotest.(check string) "every line is rb-result/1" "rb-result/1"
+            (match field "schema" fields with Json.String s -> s | _ -> "?"))
+        lines;
+      (* the two identical binds must serialize identically (cache) *)
+      let strip_id line =
+        let fields = parse_response line in
+        Json.to_string (Json.Obj (List.remove_assoc "id" fields))
+      in
+      Alcotest.(check string) "duplicate jobs answer identically"
+        (strip_id (List.nth lines 2))
+        (strip_id (List.nth lines 3)))
+
+(* ---------------------------------------------------------------- Golden *)
+
+(* dune runtest runs with cwd = _build/default/test (where the golden/
+   dep glob lands); dune exec from the root does not, so fall back to
+   the copy next to the executable. *)
+let golden_dir =
+  if Sys.file_exists "golden" then "golden"
+  else Filename.concat (Filename.dirname Sys.executable_name) "golden"
+
+let read_golden name =
+  let path = Filename.concat golden_dir name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_text name job () =
+  with_executor (fun ex ->
+      match Executor.run ex job with
+      | Ok outcome ->
+          Alcotest.(check string) name (read_golden name) (Render.to_text outcome)
+      | Error e -> Alcotest.failf "job failed: %s" e.Error.message)
+
+let golden_json name job () =
+  with_executor (fun ex ->
+      match Executor.run ex job with
+      | Ok outcome ->
+          Alcotest.(check string) name (read_golden name)
+            (Json.to_string_pretty (Render.result_to_json outcome) ^ "\n")
+      | Error e -> Alcotest.failf "job failed: %s" e.Error.message)
+
+let bind_dct =
+  Job.Bind
+    {
+      benchmark = "dct";
+      seed = 1789;
+      binder = "codesign";
+      kind = Rb_dfg.Dfg.Mul;
+      locked_fus = 2;
+      minterms_per_fu = 2;
+    }
+
+let bind_fir_area =
+  Job.Bind
+    {
+      benchmark = "fir";
+      seed = 1789;
+      binder = "area";
+      kind = Rb_dfg.Dfg.Add;
+      locked_fus = 1;
+      minterms_per_fu = 2;
+    }
+
+let lint_dct =
+  Job.Lint
+    { benchmark = Some "dct"; seed = 1789; locked_fus = 2; minterms_per_fu = 2; min_lambda = None }
+
+let lint_suite =
+  Job.Lint { benchmark = None; seed = 1789; locked_fus = 2; minterms_per_fu = 2; min_lambda = None }
+
+let analyze_pf = Job.Analyze { scheme = Some Job.Pf; width = 5; strength = 2; seed = 1789 }
+let analyze_all = Job.Analyze { scheme = None; width = 4; strength = 4; seed = 1789 }
+
+let export_cnf_pf =
+  Job.Export_cnf { scheme = Job.Pf; width = 4; strength = 2; miter = true; seed = 1789 }
+
+let golden_tests =
+  [
+    Alcotest.test_case "list.txt" `Quick (golden_text "list.txt" Job.List_benchmarks);
+    Alcotest.test_case "list.json" `Quick (golden_json "list.json" Job.List_benchmarks);
+    Alcotest.test_case "show_dct.txt" `Quick
+      (golden_text "show_dct.txt" (Job.Show { benchmark = "dct"; seed = 1789 }));
+    Alcotest.test_case "bind_dct.txt" `Quick (golden_text "bind_dct.txt" bind_dct);
+    Alcotest.test_case "bind_dct.json" `Quick (golden_json "bind_dct.json" bind_dct);
+    Alcotest.test_case "bind_fir_area.json" `Quick (golden_json "bind_fir_area.json" bind_fir_area);
+    Alcotest.test_case "lint_dct.txt" `Quick (golden_text "lint_dct.txt" lint_dct);
+    Alcotest.test_case "lint_dct.json" `Quick (golden_json "lint_dct.json" lint_dct);
+    Alcotest.test_case "lint_suite.json" `Quick (golden_json "lint_suite.json" lint_suite);
+    Alcotest.test_case "analyze_pf.txt" `Quick (golden_text "analyze_pf.txt" analyze_pf);
+    Alcotest.test_case "analyze_pf.json" `Quick (golden_json "analyze_pf.json" analyze_pf);
+    Alcotest.test_case "analyze_all.json" `Quick (golden_json "analyze_all.json" analyze_all);
+    Alcotest.test_case "export_cnf_pf.txt" `Quick (golden_text "export_cnf_pf.txt" export_cnf_pf);
+    Alcotest.test_case "export_dfg_dct.txt" `Quick
+      (golden_text "export_dfg_dct.txt" (Job.Export_dfg { benchmark = "dct" }));
+    Alcotest.test_case "dot_fir.txt" `Quick
+      (golden_text "dot_fir.txt" (Job.Dot { benchmark = "fir" }));
+  ]
+
+let () =
+  Alcotest.run "rb_service"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "decode defaults" `Quick test_job_defaults;
+          Alcotest.test_case "envelope fields ignored" `Quick test_job_envelope_ignored;
+          Alcotest.test_case "validation errors" `Quick test_job_validation;
+          Alcotest.test_case "content address" `Quick test_job_digest;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "single flight" `Quick test_store_single_flight;
+          Alcotest.test_case "failure not cached" `Quick test_store_failure_not_cached;
+          Alcotest.test_case "concurrent single flight" `Quick
+            test_store_concurrent_single_flight;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "cache determinism" `Quick test_executor_cache_determinism;
+          Alcotest.test_case "structured errors" `Quick test_executor_errors;
+          Alcotest.test_case "jobs invariance" `Quick test_executor_jobs_invariant;
+          Alcotest.test_case "cache hit rate" `Quick test_executor_batch_cache_rate;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "respond" `Quick test_serve_respond;
+          Alcotest.test_case "pipe session" `Quick test_serve_run_pipe;
+        ] );
+      ("golden", golden_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_job_roundtrip; qcheck_job_digest_stable ] );
+    ]

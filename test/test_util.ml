@@ -659,6 +659,53 @@ let test_json_depth_limit () =
   Alcotest.(check bool) "deep objects rejected too" true
     (match Json.of_string (deep_obj 1500) with Error _ -> true | Ok _ -> false)
 
+(* ---------------------------------------------------------- Json pretty *)
+
+let test_json_pretty () =
+  Alcotest.(check string) "scalars stay compact" "null" (Json.to_string_pretty Json.Null);
+  Alcotest.(check string) "empty containers stay compact" "[]"
+    (Json.to_string_pretty (Json.List []));
+  Alcotest.(check string) "empty object" "{}" (Json.to_string_pretty (Json.Obj []));
+  Alcotest.(check string) "two-space indent, one element per line"
+    "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}"
+    (Json.to_string_pretty
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]));
+  Alcotest.(check string) "strings escape as in to_string" "\"a\\n\""
+    (Json.to_string_pretty (Json.String "a\n"));
+  (* no trailing newline: callers add their own *)
+  let s = Json.to_string_pretty (Json.List [ Json.Int 1 ]) in
+  Alcotest.(check bool) "no trailing newline" false (String.length s > 0 && s.[String.length s - 1] = '\n')
+
+(* --------------------------------------------------------------- Digest *)
+
+let test_digest_string () =
+  (* MD5 of the empty string is a published constant — pins both the
+     algorithm and the lowercase-hex rendering. *)
+  Alcotest.(check string) "md5 hex" "d41d8cd98f00b204e9800998ecf8427e"
+    (Rb_util.Digest.string "");
+  Alcotest.(check bool) "distinct inputs, distinct digests" true
+    (Rb_util.Digest.string "a" <> Rb_util.Digest.string "b")
+
+let test_digest_canonical () =
+  let a =
+    Json.Obj
+      [ ("b", Json.Int 2); ("a", Json.Obj [ ("y", Json.Null); ("x", Json.Int 1) ]) ]
+  in
+  let b =
+    Json.Obj
+      [ ("a", Json.Obj [ ("x", Json.Int 1); ("y", Json.Null) ]); ("b", Json.Int 2) ]
+  in
+  Alcotest.(check string) "field order canonicalized away"
+    (Rb_util.Digest.json a) (Rb_util.Digest.json b);
+  Alcotest.(check string) "canonical renders sorted" {|{"a":{"x":1,"y":null},"b":2}|}
+    (Json.to_string (Rb_util.Digest.canonical a));
+  Alcotest.(check bool) "list order still matters" true
+    (Rb_util.Digest.json (Json.List [ Json.Int 1; Json.Int 2 ])
+    <> Rb_util.Digest.json (Json.List [ Json.Int 2; Json.Int 1 ]));
+  Alcotest.(check bool) "values still matter" true
+    (Rb_util.Digest.json a
+    <> Rb_util.Digest.json (Json.Obj [ ("b", Json.Int 3); ("a", Json.Null) ]))
+
 (* --------------------------------------------------------------- Limits *)
 
 let reason =
@@ -1078,6 +1125,41 @@ let qcheck_json_roundtrip =
     ~count:200 json_value_gen
     (fun v -> Json.of_string (Json.to_string v) = Ok v)
 
+let qcheck_json_pretty_roundtrip =
+  QCheck2.Test.make ~name:"Json.of_string inverts to_string_pretty (float-free)"
+    ~count:200 json_value_gen
+    (fun v -> Json.of_string (Json.to_string_pretty v) = Ok v)
+
+let qcheck_digest_canonical =
+  QCheck2.Test.make ~name:"Digest.json invariant under object-field shuffles"
+    ~count:200
+    QCheck2.Gen.(pair json_value_gen (int_range 0 1000))
+    (fun (v, salt) ->
+      (* Rotate the fields of every object by [salt] — a cheap deterministic
+         shuffle — and check the digest does not move. *)
+      let rotate = function
+        | [] -> []
+        | l ->
+            let k = salt mod List.length l in
+            List.filteri (fun i _ -> i >= k) l
+            @ List.filteri (fun i _ -> i < k) l
+      in
+      (* Duplicate keys make canonical order depend on input order, so drop
+         them (keep the first occurrence) before shuffling. *)
+      let rec dedup seen = function
+        | [] -> []
+        | (k, _) :: rest when List.mem k seen -> dedup seen rest
+        | (k, v) :: rest -> (k, v) :: dedup (k :: seen) rest
+      in
+      let rec map_objs f = function
+        | Json.Obj kvs ->
+            Json.Obj (f (List.map (fun (k, v) -> (k, map_objs f v)) kvs))
+        | Json.List l -> Json.List (List.map (map_objs f) l)
+        | v -> v
+      in
+      let v = map_objs (dedup []) v in
+      Rb_util.Digest.json v = Rb_util.Digest.json (map_objs rotate v))
+
 let qcheck_metrics_jobs_invariant =
   QCheck2.Test.make ~name:"counter totals invariant across jobs" ~count:20
     QCheck2.Gen.(pair (int_range 1 4) (int_range 0 120))
@@ -1131,6 +1213,12 @@ let () =
             test_json_parse_int_vs_float;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "nesting depth cap" `Quick test_json_depth_limit;
+          Alcotest.test_case "pretty render" `Quick test_json_pretty;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "string digest" `Quick test_digest_string;
+          Alcotest.test_case "canonical json" `Quick test_digest_canonical;
         ] );
       ( "metrics",
         [
@@ -1249,5 +1337,6 @@ let () =
           [ qcheck_choose_symmetry; qcheck_k_subsets_count; qcheck_rng_int_bounds;
             qcheck_shuffle_multiset; qcheck_pool_exactly_once;
             qcheck_pool_matches_list_map; qcheck_pool_exception_cleanup;
-            qcheck_json_roundtrip; qcheck_metrics_jobs_invariant ] );
+            qcheck_json_roundtrip; qcheck_json_pretty_roundtrip;
+            qcheck_digest_canonical; qcheck_metrics_jobs_invariant ] );
     ]
