@@ -165,19 +165,27 @@ let attack_cmd =
     Arg.(value & opt int 2 & info [ "strength" ] ~docv:"S"
            ~doc:"Key gates (rll), protected minterms (pf), or layers (permnet).")
   in
-  let run scheme width strength seed format =
+  let portfolio_arg =
+    Arg.(value & opt int 1 & info [ "portfolio" ] ~docv:"N"
+           ~doc:"Racing solver configurations per miter round (1-64). The reported \
+                 attack result is identical for every portfolio size and --jobs \
+                 value; larger portfolios only race the hard solves.")
+  in
+  let run scheme width strength seed format jobs portfolio =
     let t0 = Sys.time () in
     Result.map
       (fun outcome ->
         Render.print ~attack_wall_s:(Sys.time () -. t0) format outcome)
       (Result.map_error to_msg
-         (run_job (Job.Attack { scheme; width; strength; seed; max_iterations = 20_000 })))
+         (run_job ~jobs
+            (Job.Attack
+               { scheme; width; strength; seed; max_iterations = 20_000; portfolio })))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run the oracle-guided SAT attack on a locked adder.")
     Term.(term_result
             (const run $ attack_scheme_arg $ width_arg $ strength_arg $ seed_arg
-             $ format_arg))
+             $ format_arg $ jobs_arg $ portfolio_arg))
 
 (* ------------------------------------------------------------- analyze *)
 

@@ -3,112 +3,290 @@ module Lock = Rb_netlist.Lock
 module Rng = Rb_util.Rng
 module Metrics = Rb_util.Metrics
 module Limits = Rb_util.Limits
+module Pool = Rb_util.Pool
 
 (* Deterministic attack counters: one [dip_queries] per attack
    iteration (the paper's security unit — what Eqn. 1 predicts), one
    [oracle_queries] per oracle evaluation (DIP replays plus the
-   approximate attacker's random probes). *)
+   approximate attacker's random probes). [canon_solves] counts the
+   per-bit assumption solves of the lex-min canonicalization. All are
+   --jobs-invariant at portfolio 1; a racing portfolio makes solver-
+   side counts (and [clauses_imported]) timing-dependent, which is why
+   deterministic surfaces run their counters at portfolio 1. *)
 let m_runs = Metrics.counter ~scope:"attack" "runs"
 let m_dip_queries = Metrics.counter ~scope:"attack" "dip_queries"
 let m_oracle_queries = Metrics.counter ~scope:"attack" "oracle_queries"
 let m_key_extractions = Metrics.counter ~scope:"attack" "key_extractions"
+let m_canon_solves = Metrics.counter ~scope:"attack" "canon_solves"
+let m_clauses_imported = Metrics.counter ~scope:"attack" "clauses_imported"
 
 type outcome =
   | Broken of { key : bool array; iterations : int }
   | Budget_exceeded of { iterations : int }
   | Solver_limit of { iterations : int; reason : Limits.reason }
 
-(* Force at least one pair of corresponding outputs to differ: for each
-   output pair (a, b) introduce d with d -> (a xor b), and require
-   "some d". The reverse implication is unnecessary for a miter. *)
-let add_miter_difference solver (a : Tseitin.instance) (b : Tseitin.instance) =
-  let n = Array.length a.output_vars in
+(* Clause-sharing bounds: only short, low-LBD ("glue") clauses travel
+   between members — they are the ones likely to prune other members'
+   searches, and the bound keeps imports from bloating clause
+   databases. The buffer is drained once per round; overflow drops. *)
+let share_max_lbd = 4
+let share_max_len = 8
+let share_capacity = 4096
+
+(* One portfolio member: a complete persistent miter. All members
+   encode the identical circuit in the identical order, so their
+   variable spaces are aligned — an exported clause is meaningful in
+   every member verbatim, no translation table needed. *)
+type member = {
+  solver : Solver.t;
+  inputs : int array; (* primary inputs, shared by both copies *)
+  keys_a : int array;
+  keys_b : int array;
+  act : int;
+      (* activation literal guarding the miter difference clause:
+         DIP rounds solve under [act]; key extraction solves the very
+         same instance under [-act], with the difference disabled *)
+}
+
+type miter = {
+  locked : Netlist.t;
+  members : member array;
+  pool : Pool.t option;
+  share : (int * int array) Pool.Share_buffer.t; (* (origin, clause) *)
+  limit : Limits.t;
+}
+
+(* Force at least one pair of corresponding outputs to differ — but
+   only when [act] is assumed: for each output pair (x, y) introduce d
+   with d -> (x xor y), and require [act -> some d]. Guarding the
+   disjunction with an activation literal is what lets the final
+   key-recovery solve reuse this instance (under [-act]) instead of
+   re-encoding the whole observation history from scratch. *)
+let new_member locked i =
+  let solver = Solver.create ~config:(Solver.diverse_config i) () in
+  let a = Tseitin.encode solver locked in
+  let b = Tseitin.encode solver locked ~input_vars:a.Tseitin.input_vars in
+  let act = Solver.new_var solver in
+  let n = Array.length a.Tseitin.output_vars in
   let diffs =
-    Array.init n (fun i ->
+    Array.init n (fun j ->
         let d = Solver.new_var solver in
-        let x = a.output_vars.(i) and y = b.output_vars.(i) in
+        let x = a.Tseitin.output_vars.(j) and y = b.Tseitin.output_vars.(j) in
         Solver.add_clause solver [ -d; x; y ];
         Solver.add_clause solver [ -d; -x; -y ];
         d)
   in
-  Solver.add_clause solver (Array.to_list diffs)
+  Solver.add_clause solver (-act :: Array.to_list diffs);
+  {
+    solver;
+    inputs = a.Tseitin.input_vars;
+    keys_a = a.Tseitin.key_vars;
+    keys_b = b.Tseitin.key_vars;
+    act;
+  }
 
-type miter = {
-  solver : Solver.t;
-  copy_a : Tseitin.instance;
-  copy_b : Tseitin.instance;
-  locked : Netlist.t;
-  mutable history : (bool array * bool array) list;
-}
+let new_miter ?pool ?(portfolio = 1) ?(limit = Limits.none) locked =
+  if portfolio < 1 then invalid_arg "Attack.new_miter: portfolio must be >= 1";
+  {
+    locked;
+    members = Array.init portfolio (new_member locked);
+    pool;
+    share = Pool.Share_buffer.create ~capacity:share_capacity;
+    limit;
+  }
 
-let new_miter locked =
-  let solver = Solver.create () in
-  let copy_a = Tseitin.encode solver locked in
-  let copy_b = Tseitin.encode solver locked ~input_vars:copy_a.Tseitin.input_vars in
-  add_miter_difference solver copy_a copy_b;
-  { solver; copy_a; copy_b; locked; history = [] }
+(* Record one oracle observation in every member: both key copies must
+   reproduce it. The encoding is specialized under the known DIP, so
+   each observation costs clauses only for its key-dependent cone. *)
+let add_io_pair m dip response =
+  Array.iter
+    (fun mem ->
+      Tseitin.constrain_observation mem.solver m.locked ~key_vars:mem.keys_a
+        ~inputs:dip ~outputs:response;
+      Tseitin.constrain_observation mem.solver m.locked ~key_vars:mem.keys_b
+        ~inputs:dip ~outputs:response)
+    m.members
 
-(* Record one oracle observation: both key copies must reproduce it. *)
-let add_io_pair m inputs response =
-  m.history <- (inputs, response) :: m.history;
-  List.iter
-    (fun key_vars ->
-      let inst = Tseitin.encode m.solver m.locked ~key_vars in
-      Tseitin.constrain_inputs m.solver inst inputs;
-      Tseitin.constrain_outputs m.solver inst response)
-    [ m.copy_a.Tseitin.key_vars; m.copy_b.Tseitin.key_vars ]
+let decisive = function Solver.Sat | Solver.Unsat -> true | Solver.Unknown _ -> false
 
-(* Any key consistent with every recorded I/O pair, from a clean
-   solver. The correct key satisfies all pairs, so this never fails for
-   a well-formed oracle. *)
-let extract_key m =
+(* One miter round.
+
+   A single member solves directly. A portfolio races all members over
+   the pool under two round-local cancel flags with asymmetric roles,
+   which is what makes the race deterministic in its reported result
+   (see the contract note above [run]):
+
+   - member 0 is the {e sequence owner}: it is only ever interrupted
+     by a proven Unsat (a fact about the constraint set, not about
+     timing), so on Sat rounds its solve — and hence its model, the
+     round's DIP — evolves exactly as at [portfolio = 1];
+   - members 1..n-1 are {e helpers}: they stop as soon as member 0 is
+     decisive (their own Sat models are never consumed), and their
+     real contribution is racing the expensive Unsat proofs — any
+     member proving Unsat ends the round for everyone, soundly, since
+     all members hold logically equivalent instances.
+
+   During the race every member exports its short learnt clauses into
+   the share buffer; once every member has stopped (the map join is
+   the quiescent point) the round's harvest is imported into the
+   helpers. Member 0 never imports — imported clauses arrive at
+   timing-dependent points and would perturb its search, breaking the
+   deterministic DIP sequence.
+
+   Returns the round result plus the index of the member whose
+   model/proof to use: member 0 for Sat, the lowest Unsat prover for
+   Unsat (the extracted key is canonical, so the choice is
+   unobservable). *)
+let solve_round m =
+  let members = m.members in
+  let n = Array.length members in
+  if n = 1 then
+    (Solver.solve ~assumptions:[ members.(0).act ] ~limit:m.limit members.(0).solver, 0)
+  else begin
+    let unsat_found = Limits.new_cancel () in
+    let helpers_stop = Limits.new_cancel () in
+    let solve_member i =
+      let mem = members.(i) in
+      let limit =
+        Limits.with_cancel m.limit (if i = 0 then unsat_found else helpers_stop)
+      in
+      Solver.set_learnt_hook mem.solver
+        (Some
+           (fun ~lbd clause ->
+             if lbd <= share_max_lbd && Array.length clause <= share_max_len then
+               ignore (Pool.Share_buffer.push m.share (i, clause))));
+      Fun.protect ~finally:(fun () -> Solver.set_learnt_hook mem.solver None)
+      @@ fun () ->
+      let r = Solver.solve ~assumptions:[ mem.act ] ~limit mem.solver in
+      (match r with
+      | Solver.Unsat ->
+        Limits.cancel unsat_found;
+        Limits.cancel helpers_stop
+      | _ -> if i = 0 && decisive r then Limits.cancel helpers_stop);
+      r
+    in
+    let results =
+      match m.pool with
+      | Some pool -> Pool.map_array pool ~f:solve_member (Array.init n (fun i -> i))
+      | None ->
+        (* Pool-free (or nested) fallback: member 0 solves alone, and
+           the helpers only get a turn — in index order — when member
+           0 could not decide the round within its budget. *)
+        let out = Array.make n (Solver.Unknown Limits.Cancelled) in
+        out.(0) <- solve_member 0;
+        if not (decisive out.(0)) then
+          for i = 1 to n - 1 do
+            if not (Limits.cancelled helpers_stop) then out.(i) <- solve_member i
+          done;
+        out
+    in
+    List.iter
+      (fun (origin, clause) ->
+        let lits = Array.to_list clause in
+        Array.iteri
+          (fun j mem ->
+            if j <> origin && j > 0 then begin
+              Metrics.incr m_clauses_imported;
+              Solver.add_clause mem.solver lits
+            end)
+          members)
+      (Pool.Share_buffer.drain m.share);
+    let unsat = ref (-1) in
+    Array.iteri
+      (fun i r -> if !unsat < 0 && r = Solver.Unsat then unsat := i)
+      results;
+    if !unsat >= 0 then (Solver.Unsat, !unsat) else (results.(0), 0)
+  end
+
+(* Lex-min canonicalization: the lexicographically smallest assignment
+   of [vars] consistent with the instance under the [prefix0]
+   assumptions. A pure function of the constraint set — every clause a
+   member ever imports is logically implied by that set (learnt
+   clauses derive by resolution from the shared clauses), so the
+   canonical element is identical in every portfolio member, whichever
+   one happened to finish the final round.
+
+   Bit i is decided by one unbudgeted assumption solve forcing it
+   false under the already-decided prefix: Sat fixes false, Unsat
+   fixes true. The current witness model skips most solves — a bit the
+   witness already sets false needs no solve, and each Sat yields a
+   fresh witness for the remaining bits; phase saving initialized to
+   false biases models toward lex-min, keeping the solve count low. *)
+let lex_min mem ~prefix0 ~vars =
+  let n = Array.length vars in
+  let wit = Array.init n (fun i -> Solver.value mem.solver vars.(i)) in
+  let bits = Array.make n false in
+  let prefix = ref prefix0 in
+  (* reversed assumption list *)
+  for i = 0 to n - 1 do
+    let li = -vars.(i) in
+    if not wit.(i) then prefix := li :: !prefix
+    else begin
+      Metrics.incr m_canon_solves;
+      match Solver.solve ~assumptions:(List.rev (li :: !prefix)) mem.solver with
+      | Solver.Sat ->
+        for k = i + 1 to n - 1 do
+          wit.(k) <- Solver.value mem.solver vars.(k)
+        done;
+        prefix := li :: !prefix
+      | Solver.Unsat ->
+        bits.(i) <- true;
+        prefix := -li :: !prefix
+      | Solver.Unknown _ -> assert false (* unbudgeted *)
+    end
+  done;
+  bits
+
+(* The canonical key: the lex-min key consistent with every recorded
+   I/O pair — the same live instance solved under [-act], which
+   disables the miter difference and leaves exactly the observation
+   constraints on the key copies. Key extraction is never budgeted —
+   the correct key satisfies every constraint by construction, so
+   these solves always terminate on the instances a well-formed oracle
+   produces. *)
+let extract_key mem =
   Metrics.incr m_key_extractions;
-  let key_solver = Solver.create () in
-  let model = Tseitin.encode key_solver m.locked in
-  List.iter
-    (fun (inputs, response) ->
-      let inst = Tseitin.encode key_solver m.locked ~key_vars:model.Tseitin.key_vars in
-      Tseitin.constrain_inputs key_solver inst inputs;
-      Tseitin.constrain_outputs key_solver inst response)
-    m.history;
-  (* Key extraction is never budgeted: it re-solves a conjunction of
-     satisfied constraints, which the correct key satisfies by
-     construction. *)
-  match Solver.solve key_solver with
-  | Sat ->
-    Array.init (Netlist.n_keys m.locked) (fun i ->
-        Solver.value key_solver model.Tseitin.key_vars.(i))
-  | Unsat | Unknown _ -> assert false
+  (match Solver.solve ~assumptions:[ -mem.act ] mem.solver with
+  | Solver.Sat -> ()
+  | Solver.Unsat | Solver.Unknown _ -> assert false);
+  lex_min mem ~prefix0:[ -mem.act ] ~vars:mem.keys_a
 
-let run ?(max_iterations = 100_000) ?limit ~oracle ~locked () =
+let run ?(max_iterations = 100_000) ?limit ?pool ?(portfolio = 1) ?on_dip ~oracle
+    ~locked () =
   Metrics.incr m_runs;
-  let m = new_miter locked in
-  let n_in = Netlist.n_inputs locked in
+  let m = new_miter ?pool ~portfolio ?limit locked in
   let rec attack_loop iterations =
     if iterations >= max_iterations then Budget_exceeded { iterations }
-    else
-      match Solver.solve ?limit m.solver with
-      | Unsat -> Broken { key = extract_key m; iterations }
-      | Unknown reason ->
+    else begin
+      let result, w = solve_round m in
+      match result with
+      | Solver.Unknown reason ->
         (* Degrade to a partial resilience estimate: the DIPs found so
            far are a lower bound on the scheme's iteration count. *)
         Solver_limit { iterations; reason }
-      | Sat ->
-        let dip =
-          Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))
-        in
+      | Solver.Unsat -> Broken { key = extract_key m.members.(w); iterations }
+      | Solver.Sat ->
+        (* The DIP is the sequence owner's model, read directly: w = 0
+           on every Sat round, and member 0's search is never
+           perturbed by the portfolio, so the sequence is the
+           portfolio-1 sequence. *)
+        let mem = m.members.(w) in
+        let dip = Array.map (Solver.value mem.solver) mem.inputs in
         Metrics.incr m_dip_queries;
         Metrics.incr m_oracle_queries;
+        (match on_dip with Some f -> f (Array.copy dip) | None -> ());
         add_io_pair m dip (oracle dip);
         attack_loop (iterations + 1)
+    end
   in
   attack_loop 0
 
-let attack_locked ?max_iterations ?limit (locked : Lock.locked) =
+let attack_locked ?max_iterations ?limit ?pool ?portfolio ?on_dip
+    (locked : Lock.locked) =
   let oracle inputs =
     Netlist.eval locked.circuit ~inputs ~keys:locked.correct_key
   in
-  run ?max_iterations ?limit ~oracle ~locked:locked.circuit ()
+  run ?max_iterations ?limit ?pool ?portfolio ?on_dip ~oracle ~locked:locked.circuit ()
 
 let key_is_correct (locked : Lock.locked) candidate =
   let c = locked.circuit in
@@ -147,24 +325,25 @@ let approximate ?(dip_budget = 30) ?(queries_per_round = 16) ?(estimate_samples 
   let n_in = Netlist.n_inputs circuit in
   let rng = Rng.create seed in
   let random_inputs () = Array.init n_in (fun _ -> Rng.bool rng) in
-  let m = new_miter circuit in
+  let m = new_miter ?limit circuit in
+  let mem = m.members.(0) in
   let queries = ref 0 in
   (* AppSAT-style: interleave DIP refinement with random oracle
      queries, which prune approximately-wrong keys that exact DIPs
-     would take exponentially long to reach. *)
+     would take exponentially long to reach. The raw model DIP is used
+     (no canonicalization): the approximate attacker trades rigor for
+     speed, and with a single member the run is deterministic anyway. *)
   Metrics.incr m_runs;
   let rec loop iterations =
     if iterations >= dip_budget then (iterations, false)
     else
-      match Solver.solve ?limit m.solver with
-      | Unsat -> (iterations, true)
+      match Solver.solve ~assumptions:[ mem.act ] ~limit:m.limit mem.solver with
+      | Solver.Unsat -> (iterations, true)
       (* A budgeted solve that gives up is just another way of not
          converging; the extracted key is still the best candidate. *)
-      | Unknown _ -> (iterations, false)
-      | Sat ->
-        let dip =
-          Array.init n_in (fun i -> Solver.value m.solver m.copy_a.Tseitin.input_vars.(i))
-        in
+      | Solver.Unknown _ -> (iterations, false)
+      | Solver.Sat ->
+        let dip = Array.init n_in (fun i -> Solver.value mem.solver mem.inputs.(i)) in
         Metrics.incr m_dip_queries;
         Metrics.incr m_oracle_queries;
         add_io_pair m dip (oracle dip);
@@ -178,7 +357,7 @@ let approximate ?(dip_budget = 30) ?(queries_per_round = 16) ?(estimate_samples 
         loop (iterations + 1)
   in
   let dip_iterations, converged = loop 0 in
-  let key = extract_key m in
+  let key = extract_key mem in
   (* Estimate the residual wrong-output rate of the extracted key. *)
   let errors = ref 0 in
   for _ = 1 to estimate_samples do

@@ -13,11 +13,58 @@
     When the miter becomes unsatisfiable, any key consistent with all
     recorded I/O pairs is functionally correct, and the number of
     iterations measures the scheme's resilience — the quantity paper
-    Eqn. 1 lower-bounds. *)
+    Eqn. 1 lower-bounds.
+
+    {2 Incremental engine}
+
+    The attack is fully incremental: one persistent {!Solver.t} (per
+    portfolio member) holds the miter for the whole run. The miter
+    difference clause is guarded by an activation literal, so DIP
+    rounds solve under the assumption [act], each oracle observation
+    lands as constant-specialized clauses
+    ({!Tseitin.constrain_observation} — learnt clauses survive across
+    rounds), and the final key recovery solves the {e same} instance
+    under [-act] instead of re-encoding the observation history.
+
+    {2 Portfolio and the deterministic-result contract}
+
+    With [portfolio = n > 1], [n] identically-encoded members with
+    diversified search heuristics ({!Solver.diverse_config}) race each
+    round over the worker pool, exchanging short low-LBD learnt
+    clauses at round boundaries (sound because members' variable
+    spaces are aligned and learnt clauses are implied by the shared
+    clause database alone). The {e reported} DIP sequence and key are
+    identical at every [jobs]/[portfolio] combination, by
+    construction:
+
+    - member 0 {e owns the DIP sequence}: every DIP is member 0's own
+      model, member 0 never imports shared clauses, and nothing may
+      interrupt its solve except a proven Unsat — a fact about the
+      constraint set, not about timing — so its models are exactly the
+      [portfolio = 1] models;
+    - members 1..n-1 are {e helpers}: their Sat models are never
+      consumed; they accelerate the attack by racing the expensive
+      Unsat proofs (any member proving Unsat ends the round soundly,
+      since all members hold logically equivalent instances) and by
+      sharing clauses with each other;
+    - the recovered key is canonicalized to the lexicographically
+      smallest key consistent with all observations — a property of
+      the constraint set, not of whichever member finished the final
+      round.
+
+    Wall-clock and solver-side metrics (["sat/*"],
+    ["attack/clauses_imported"]) remain timing-dependent when racing;
+    deterministic surfaces run at [portfolio = 1]. One corner is
+    weaker under a budget ([?limit]): when member 0 returns [Unknown],
+    whether a helper completed an Unsat proof before the round ended
+    is a race, so a budgeted portfolio run may report [Solver_limit]
+    where another reports [Broken] (unbudgeted runs are fully
+    deterministic). *)
 
 type outcome =
   | Broken of { key : bool array; iterations : int }
-      (** the recovered key and the number of DIP iterations *)
+      (** the recovered key (lexicographically smallest consistent
+          one) and the number of DIP iterations *)
   | Budget_exceeded of { iterations : int }
       (** iteration budget exhausted before convergence *)
   | Solver_limit of { iterations : int; reason : Rb_util.Limits.reason }
@@ -28,6 +75,9 @@ type outcome =
 val run :
   ?max_iterations:int ->
   ?limit:Rb_util.Limits.t ->
+  ?pool:Rb_util.Pool.t ->
+  ?portfolio:int ->
+  ?on_dip:(bool array -> unit) ->
   oracle:(bool array -> bool array) ->
   locked:Rb_netlist.Netlist.t ->
   unit ->
@@ -35,15 +85,26 @@ val run :
 (** [run ~oracle ~locked ()] attacks a locked netlist. [oracle] maps a
     primary-input assignment to the activated chip's outputs.
     [max_iterations] defaults to 100_000. [?limit] bounds every miter
-    solve (see {!Solver.solve}); a tripped limit yields
-    [Solver_limit] instead of hanging on a pathologically hard miter.
-    Key extraction after an [Unsat] miter is never budgeted. The
-    returned key is verified internally against all recorded DIPs;
-    callers typically verify it exhaustively against the oracle in
-    tests. *)
+    and DIP-canonicalization solve (see {!Solver.solve}); a tripped
+    limit yields [Solver_limit] instead of hanging on a pathologically
+    hard miter. Key extraction after an [Unsat] miter is never
+    budgeted. [?portfolio] (default 1, [Invalid_argument] below 1) is
+    the number of racing solver members; [?pool] supplies the workers
+    they race on (without it a portfolio degenerates to trying members
+    in index order, still correct). [?on_dip] observes each canonical
+    DIP as it is queried, in order — the test hook for the
+    deterministic-sequence contract. The returned key is the smallest
+    consistent with all recorded DIPs; callers typically verify it
+    exhaustively against the oracle in tests. *)
 
 val attack_locked :
-  ?max_iterations:int -> ?limit:Rb_util.Limits.t -> Rb_netlist.Lock.locked -> outcome
+  ?max_iterations:int ->
+  ?limit:Rb_util.Limits.t ->
+  ?pool:Rb_util.Pool.t ->
+  ?portfolio:int ->
+  ?on_dip:(bool array -> unit) ->
+  Rb_netlist.Lock.locked ->
+  outcome
 (** Convenience: attack a {!Rb_netlist.Lock.locked} construction using
     its own correct key to answer oracle queries (the usual
     experimental setup, where the attacker's chip is simulated). *)
@@ -73,9 +134,11 @@ val approximate :
 (** The approximate attack of Shamsi et al.'s impossibility result
     [12] (AppSAT-style): interleave exact DIP refinement with batches
     of random oracle queries and stop early, settling for an
-    {e approximately} correct key. Point-function locking survives the
-    exact attack by corrupting almost nothing — which is precisely why
-    an attacker content with a low error rate wins quickly. This is the
-    paper's motivation for needing {e application-level} corruption,
-    not just SAT iterations. Defaults: 30 DIPs, 16 random queries every
-    5 DIPs, 2000 estimation samples. *)
+    {e approximately} correct key. Runs on the same incremental miter
+    (single member, raw model DIPs — rigor traded for speed).
+    Point-function locking survives the exact attack by corrupting
+    almost nothing — which is precisely why an attacker content with a
+    low error rate wins quickly. This is the paper's motivation for
+    needing {e application-level} corruption, not just SAT iterations.
+    Defaults: 30 DIPs, 16 random queries every 5 DIPs, 2000 estimation
+    samples. *)

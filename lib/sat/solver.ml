@@ -51,7 +51,40 @@ let binary_tag ci = -ci - 1
 let hdr_len_bits = 21 (* max_vars < 2^21 bounds any clause length *)
 let hdr_len_mask = (1 lsl hdr_len_bits) - 1
 
+(* Heuristic diversification for portfolio solving. Every config
+   decides the same instances (soundness never depends on these), but
+   restart cadence, activity decay and initial phases steer the search
+   into different parts of the space — which is the whole point of
+   racing several members. *)
+type config = {
+  restart_base : int;
+  var_decay : float;
+  phase_seed : int option;
+}
+
+let default_config = { restart_base = 100; var_decay = 0.92; phase_seed = None }
+
+(* Member 0 is always the default config, so a 1-member portfolio is
+   exactly the plain solver. The table mixes short/long restart
+   cadences with slow/fast decay; odd members keep the false-phase
+   bias (good for lex-min witnesses), even members scatter phases. *)
+let diverse_config i =
+  if i <= 0 then default_config
+  else begin
+    let bases = [| 100; 60; 220; 340; 80; 150; 480; 40 |] in
+    let decays = [| 0.92; 0.95; 0.88; 0.92; 0.97; 0.85; 0.93; 0.90 |] in
+    let j = i mod 8 in
+    {
+      restart_base = bases.(j);
+      var_decay = decays.(j);
+      phase_seed = (if i mod 2 = 0 then Some (0x5EED + i) else None);
+    }
+  end
+
 type t = {
+  config : config;
+  var_decay_factor : float; (* 1 / config.var_decay, applied per conflict *)
+  mutable learnt_hook : (lbd:int -> int array -> unit) option;
   mutable nvars : int;
   arena : Veci.t; (* flat clause storage: header word, then literals *)
   mutable watches : Veci.t array; (* lidx -> (ci, blocker) pairs *)
@@ -91,12 +124,14 @@ type t = {
 let reduce_first = 2000
 let reduce_inc = 300
 
-(* Luby restart unit: restart k allows [luby k * restart_base]
-   conflicts. *)
-let restart_base = 100
-
-let create () =
+let create ?(config = default_config) () =
+  if config.restart_base < 1 then invalid_arg "Solver.create: restart_base must be >= 1";
+  if not (config.var_decay > 0.0 && config.var_decay < 1.0) then
+    invalid_arg "Solver.create: var_decay must be in (0, 1)";
   {
+    config;
+    var_decay_factor = 1.0 /. config.var_decay;
+    learnt_hook = None;
     nvars = 0;
     arena = Veci.create ~cap:256 ();
     watches = Array.init 16 (fun _ -> Veci.create ());
@@ -173,6 +208,17 @@ let new_var s =
   Bytes.unsafe_set s.assign (2 * v) '\002';
   Bytes.unsafe_set s.assign ((2 * v) + 1) '\002';
   s.reason.(v) <- -1;
+  (match s.config.phase_seed with
+  | None -> ()
+  | Some seed ->
+    (* Deterministic per-variable phase scatter (mixer, not an RNG
+       stream: the phase depends only on (seed, v), never on
+       allocation order elsewhere). *)
+    let h = seed + (v * 0x9E3779B9) in
+    let h = h lxor (h lsr 16) in
+    let h = h * 0x85EBCA6B in
+    let h = h lxor (h lsr 13) in
+    s.phase.(v) <- h land 1 = 1);
   v
 
 let new_vars s n =
@@ -296,8 +342,6 @@ let add_clause s lits =
         attach s ci
   end
 
-let var_decay = 1.0 /. 0.92
-
 let bump_var s v =
   Order_heap.bump s.order v s.var_inc;
   if Order_heap.activity s.order v > 1e100 then begin
@@ -305,7 +349,7 @@ let bump_var s v =
     s.var_inc <- s.var_inc *. 1e-100
   end
 
-let decay_activity s = s.var_inc <- s.var_inc *. var_decay
+let decay_activity s = s.var_inc <- s.var_inc *. s.var_decay_factor
 
 (* Two-watched-literal unit propagation over the flat lists. Returns
    the index of a conflicting clause, or -1. The loop compacts each
@@ -525,7 +569,14 @@ let record_learnt s asserting backjump =
   let nb = Veci.length s.learnt_buf in
   if nb = 0 then begin
     backtrack s 0;
-    enqueue s asserting (-1)
+    enqueue s asserting (-1);
+    (* A learnt unit: implied by the clause database alone (CDCL
+       learns by resolution on reason clauses only — assumptions are
+       decisions, never reasons), so it is safe to hand to a sharing
+       hook and re-add in any solver over the same clause set. *)
+    match s.learnt_hook with
+    | None -> ()
+    | Some f -> f ~lbd:1 [| asserting |]
   end
   else begin
     (* The asserting literal sits at the conflict level, which no tail
@@ -550,7 +601,12 @@ let record_learnt s asserting backjump =
     Veci.push s.learnts cr;
     attach s cr;
     s.s_learned <- s.s_learned + 1;
-    enqueue s asserting cr
+    enqueue s asserting cr;
+    (* [arr] was copied into the arena by push_clause, so ownership
+       transfers to the hook without another allocation. *)
+    match s.learnt_hook with
+    | None -> ()
+    | Some f -> f ~lbd arr
   end
 
 (* Learnt-database reduction: drop the worst half of the removable
@@ -692,6 +748,7 @@ let solve ?(assumptions = []) ?(limit = Limits.none) s =
     let n_assumptions = List.length assumptions in
     let assumption = Array.of_list assumptions in
     let restarts_here = ref 0 in
+    let restart_base = s.config.restart_base in
     let conflict_budget = ref (restart_base * luby 0) in
     let conflicts_here = ref 0 in
     let result = ref None in
@@ -780,6 +837,8 @@ let solve ?(assumptions = []) ?(limit = Limits.none) s =
 let value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.value";
   if var_assigned s v then var_true s v else s.phase.(v)
+
+let set_learnt_hook s hook = s.learnt_hook <- hook
 
 let stats s =
   {

@@ -46,7 +46,31 @@ type stats = {
   learned : int;
 }
 
-val create : unit -> t
+(** Search-heuristic diversification, the portfolio lever: every
+    config decides the same instances, but restart cadence, VSIDS
+    decay and initial phases steer the search differently, so racing
+    members explore distinct parts of the space. *)
+type config = {
+  restart_base : int;  (** Luby restart unit in conflicts (default 100) *)
+  var_decay : float;  (** VSIDS activity decay, in (0, 1) (default 0.92) *)
+  phase_seed : int option;
+      (** [None] initializes every saved phase to [false] (the default,
+          and what biases models toward lexicographically small
+          assignments); [Some seed] scatters initial phases by a
+          deterministic per-variable hash of [seed] *)
+}
+
+val default_config : config
+
+val diverse_config : int -> config
+(** [diverse_config i] is a deterministic config for portfolio member
+    [i]: member 0 is {!default_config} (a 1-member portfolio is
+    exactly the plain solver), higher indices cycle through distinct
+    restart/decay/phase combinations. *)
+
+val create : ?config:config -> unit -> t
+(** [config] defaults to {!default_config}. [Invalid_argument] when
+    [restart_base < 1] or [var_decay] is outside (0, 1). *)
 
 val new_var : t -> int
 (** Allocate the next variable (1, 2, 3, ...). *)
@@ -87,6 +111,16 @@ val value : t -> int -> bool
 
 val stats : t -> stats
 (** Cumulative search statistics. *)
+
+val set_learnt_hook : t -> (lbd:int -> int array -> unit) option -> unit
+(** Install (or clear) a callback invoked on every clause the solver
+    learns, with its literal-block distance. Learnt clauses are
+    implied by the clause database {e alone} — CDCL resolves only on
+    reason clauses, and assumptions are decisions, never reasons — so
+    a hooked clause may be re-added to any solver holding the same
+    clause set (the portfolio's clause-sharing channel). The array is
+    owned by the callback; the hook runs on the solving domain, so it
+    must be cheap and must not call back into this solver. *)
 
 (** {2 Introspection for tests}
 

@@ -27,6 +27,25 @@ val encode :
     widths. Gate semantics are encoded with the standard 2-3 clause
     Tseitin forms. *)
 
+val constrain_observation :
+  Solver.t ->
+  Rb_netlist.Netlist.t ->
+  key_vars:int array ->
+  inputs:bool array ->
+  outputs:bool array ->
+  unit
+(** Assert [circuit(inputs, key) = outputs] as clauses over the
+    existing [key_vars] — the incremental attack's per-DIP constraint.
+    Unlike {!encode} + pinning, the encoding is specialized under the
+    constant [inputs]: gates fold through constants and shared or
+    negated literals unify, so fresh variables and clauses are
+    allocated only for the key-dependent cone of this input pattern.
+    Variable allocation is a deterministic function of
+    [(circuit, inputs)], which keeps the variable spaces of portfolio
+    members aligned. An observation a key cannot explain (possible
+    only with an inconsistent oracle) makes the instance permanently
+    unsatisfiable. *)
+
 val constrain_inputs : Solver.t -> instance -> bool array -> unit
 (** Pin the instance's primary inputs to concrete values (unit
     clauses). Used to replay a distinguishing input pattern. *)

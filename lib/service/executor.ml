@@ -311,15 +311,26 @@ let run_analyze t ~scheme ~width ~strength ~seed =
   in
   Outcome.Analyzed reports
 
-let run_attack t ~scheme ~width ~strength ~seed ~max_iterations =
+let run_attack t ~scheme ~width ~strength ~seed ~max_iterations ~portfolio =
   let l = locked t scheme width strength seed in
   let stats =
     Format.asprintf "%a" Rb_netlist.Netlist.pp_stats l.Rb_netlist.Lock.circuit
   in
   let outcome =
-    match Rb_sat.Attack.attack_locked ~max_iterations ?limit:t.limit l with
+    match
+      Rb_sat.Attack.attack_locked ~max_iterations ?limit:t.limit ~pool:t.pool
+        ~portfolio l
+    with
     | Rb_sat.Attack.Broken { key; iterations } ->
-      Outcome.Broken { iterations; key_correct = Rb_sat.Attack.key_is_correct l key }
+      let bits =
+        String.init (Array.length key) (fun i -> if key.(i) then '1' else '0')
+      in
+      Outcome.Broken
+        {
+          iterations;
+          key_correct = Rb_sat.Attack.key_is_correct l key;
+          key = bits;
+        }
     | Rb_sat.Attack.Budget_exceeded { iterations } ->
       Outcome.Budget_exceeded { iterations }
     | Rb_sat.Attack.Solver_limit { iterations; reason } ->
@@ -404,8 +415,8 @@ let execute t (job : Job.t) =
     run_lint t ~benchmark ~seed ~locked_fus ~minterms_per_fu ~min_lambda
   | Job.Analyze { scheme; width; strength; seed } ->
     run_analyze t ~scheme ~width ~strength ~seed
-  | Job.Attack { scheme; width; strength; seed; max_iterations } ->
-    run_attack t ~scheme ~width ~strength ~seed ~max_iterations
+  | Job.Attack { scheme; width; strength; seed; max_iterations; portfolio } ->
+    run_attack t ~scheme ~width ~strength ~seed ~max_iterations ~portfolio
   | Job.Custom { source; kind; locked_fus; minterms_per_fu; trace_length; seed } ->
     run_custom t ~source ~kind ~locked_fus ~minterms_per_fu ~trace_length ~seed
   | Job.Export_cnf { scheme; width; strength; miter; seed } ->

@@ -43,6 +43,7 @@ type t =
       strength : int;
       seed : int;
       max_iterations : int;
+      portfolio : int;
     }
   | Custom of {
       source : custom_source;
@@ -109,7 +110,7 @@ let to_json t =
         ("strength", Json.Int strength);
         ("seed", Json.Int seed);
       ]
-  | Attack { scheme; width; strength; seed; max_iterations } ->
+  | Attack { scheme; width; strength; seed; max_iterations; portfolio } ->
     obj
       [
         ("scheme", Json.String (scheme_label scheme));
@@ -117,6 +118,7 @@ let to_json t =
         ("strength", Json.Int strength);
         ("seed", Json.Int seed);
         ("max_iterations", Json.Int max_iterations);
+        ("portfolio", Json.Int portfolio);
       ]
   | Custom { source; kind; locked_fus; minterms_per_fu; trace_length; seed } ->
     let format, text =
@@ -170,11 +172,12 @@ let validate = function
   | Analyze { width; strength; _ } ->
     let* () = range "width" 2 8 width in
     range "strength" 1 256 strength
-  | Attack { scheme; width; strength; max_iterations; _ } ->
+  | Attack { scheme; width; strength; max_iterations; portfolio; _ } ->
     let* () = netlist_scheme scheme in
     let* () = range "width" 2 8 width in
     let* () = range "strength" 1 256 strength in
-    range "max-iterations" 1 10_000_000 max_iterations
+    let* () = range "max-iterations" 1 10_000_000 max_iterations in
+    range "portfolio" 1 64 portfolio
   | Custom { locked_fus; minterms_per_fu; trace_length; _ } ->
     let* () = range "locked-fus" 1 64 locked_fus in
     let* () = range "minterms" 1 64 minterms_per_fu in
@@ -289,7 +292,8 @@ let decode v =
     let* strength = int_field v "strength" ~default:2 in
     let* seed = int_field v "seed" ~default:1789 in
     let* max_iterations = int_field v "max_iterations" ~default:20_000 in
-    Ok (Attack { scheme; width; strength; seed; max_iterations })
+    let* portfolio = int_field v "portfolio" ~default:1 in
+    Ok (Attack { scheme; width; strength; seed; max_iterations; portfolio })
   | "custom" ->
     let* text = required_string v "text" in
     let* format = string_field v "format" ~default:"dfg-text" in

@@ -55,6 +55,9 @@ type t =
       strength : int;
       seed : int;
       max_iterations : int;
+      portfolio : int;
+          (** racing solver members, 1..64; does not change the
+              reported result (see {!Rb_sat.Attack}) *)
     }
   | Custom of {
       source : custom_source;

@@ -18,7 +18,7 @@ type bind_report = {
 }
 
 type attack_outcome =
-  | Broken of { iterations : int; key_correct : bool }
+  | Broken of { iterations : int; key_correct : bool; key : string }
   | Budget_exceeded of { iterations : int }
   | Solver_limit of { iterations : int; reason : Rb_util.Limits.reason }
 

@@ -29,7 +29,15 @@ type bind_report = {
 }
 
 type attack_outcome =
-  | Broken of { iterations : int; key_correct : bool }
+  | Broken of {
+      iterations : int;
+      key_correct : bool;
+      key : string;
+          (** recovered key as a '0'/'1' bitstring in key-index order —
+              the canonical lex-min key, identical at every
+              jobs/portfolio combination (what makes attack reports
+              byte-comparable across parallelism settings) *)
+    }
   | Budget_exceeded of { iterations : int }
   | Solver_limit of { iterations : int; reason : Rb_util.Limits.reason }
 

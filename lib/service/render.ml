@@ -33,11 +33,12 @@ let json_of_config config =
 let json_of_attack (r : Outcome.attack_report) =
   let outcome_fields =
     match r.Outcome.outcome with
-    | Outcome.Broken { iterations; key_correct } ->
+    | Outcome.Broken { iterations; key_correct; key } ->
       [
         ("outcome", Json.String "broken");
         ("iterations", Json.Int iterations);
         ("key_correct", Json.Bool key_correct);
+        ("key", Json.String key);
       ]
     | Outcome.Budget_exceeded { iterations } ->
       [ ("outcome", Json.String "budget-exceeded"); ("iterations", Json.Int iterations) ]
@@ -154,9 +155,9 @@ let attacked_text ~wall_s (r : Outcome.attack_report) =
   with_buffer (fun f ->
       Format.fprintf f "locked circuit: %s, %s@." r.Outcome.description r.Outcome.stats;
       match r.Outcome.outcome with
-      | Outcome.Broken { iterations; key_correct } ->
-        Format.fprintf f "broken in %d DIP iterations (%.2fs); recovered key %s@."
-          iterations wall_s
+      | Outcome.Broken { iterations; key_correct; key } ->
+        Format.fprintf f "broken in %d DIP iterations (%.2fs); recovered key %s %s@."
+          iterations wall_s key
           (if key_correct then "is functionally correct" else "FAILS verification")
       | Outcome.Budget_exceeded { iterations } ->
         Format.fprintf f "survived %d iterations (%.2fs)@." iterations wall_s

@@ -4,38 +4,39 @@ type t = {
   max_conflicts : int option;
   max_propagations : int option;
   deadline_s : float option;
-  cancel : bool Atomic.t option;
+  cancels : bool Atomic.t list;
 }
 
 let none =
-  { max_conflicts = None; max_propagations = None; deadline_s = None; cancel = None }
+  { max_conflicts = None; max_propagations = None; deadline_s = None; cancels = [] }
 
 let make ?max_conflicts ?max_propagations ?deadline_s ?cancel () =
-  { max_conflicts; max_propagations; deadline_s; cancel }
+  { max_conflicts; max_propagations; deadline_s; cancels = Option.to_list cancel }
 
 let conflicts n = make ~max_conflicts:n ()
 
 let is_none t =
   t.max_conflicts = None && t.max_propagations = None && t.deadline_s = None
-  && t.cancel = None
+  && t.cancels = []
 
 let new_cancel () = Atomic.make false
 let cancel flag = Atomic.set flag true
 let cancelled flag = Atomic.get flag
 
+let with_cancel t flag = { t with cancels = flag :: t.cancels }
+
 let exceeds budget used =
   match budget with Some b -> used >= b | None -> false
 
-(* The nondeterministic half: cancel flag first (one atomic read),
-   then the wall clock (a syscall — only consulted when a deadline is
-   actually set). *)
+(* The nondeterministic half: cancel flags first (one atomic read
+   each), then the wall clock (a syscall — only consulted when a
+   deadline is actually set). *)
 let interrupted t =
-  match t.cancel with
-  | Some flag when Atomic.get flag -> Some Cancelled
-  | _ -> (
+  if List.exists Atomic.get t.cancels then Some Cancelled
+  else
     match t.deadline_s with
     | Some d when Metrics.now_s () >= d -> Some Deadline
-    | _ -> None)
+    | _ -> None
 
 let check t ~conflicts ~propagations =
   if exceeds t.max_conflicts conflicts then Some Conflicts

@@ -63,6 +63,13 @@ val cancel : bool Atomic.t -> unit
 
 val cancelled : bool Atomic.t -> bool
 
+val with_cancel : t -> bool Atomic.t -> t
+(** [with_cancel t flag] adds one more cancel flag to [t]: the result
+    trips as [Cancelled] when {e any} of [t]'s flags or [flag] is
+    raised. Layered cancellation — e.g. a portfolio race's
+    first-winner flag composed with an outer SIGINT flag — without
+    the layers knowing about each other. *)
+
 val check : t -> conflicts:int -> propagations:int -> reason option
 (** Poll every limit against the caller's {e per-call} work deltas.
     Checks in a fixed order — [Conflicts], [Propagations], [Cancelled],

@@ -166,6 +166,42 @@ let map_array_result ?(retries = 0) t ~f arr =
     ~f:(fun (i, x) -> run_task_result ~retries ~index:i (fun () -> f x))
     (Array.mapi (fun i x -> (i, x)) arr)
 
+(* A bounded wait-free single-round exchange buffer. Writers claim
+   slots with one fetch-and-add and write their slot unshared; pushes
+   past capacity are dropped (the producers are speculative — losing
+   an exported clause costs nothing but a little speed). [drain] is
+   only sound at a quiescent point: all producers must have returned
+   (e.g. the pool map that ran them has joined) so their slot writes
+   happen-before the reads. The SAT-attack portfolio drains between
+   solve rounds, after the racing map_array call returns. *)
+module Share_buffer = struct
+  type 'a t = { slots : 'a option array; cursor : int Atomic.t }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Share_buffer.create: capacity must be >= 1";
+    { slots = Array.make capacity None; cursor = Atomic.make 0 }
+
+  let capacity b = Array.length b.slots
+
+  let push b x =
+    let i = Atomic.fetch_and_add b.cursor 1 in
+    if i < Array.length b.slots then begin
+      b.slots.(i) <- Some x;
+      true
+    end
+    else false
+
+  let drain b =
+    let n = min (Atomic.get b.cursor) (Array.length b.slots) in
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      (match b.slots.(i) with Some x -> out := x :: !out | None -> ());
+      b.slots.(i) <- None
+    done;
+    Atomic.set b.cursor 0;
+    !out
+end
+
 let shutdown t =
   Mutex.lock t.mutex;
   let workers = t.workers in

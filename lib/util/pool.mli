@@ -71,6 +71,33 @@ val run_task_result :
     retry and error-capture semantics — keeping pooled and pool-free
     runs byte-identical under fault injection. *)
 
+(** A bounded wait-free exchange buffer for racing pool tasks.
+
+    Producers running concurrently on pool workers push values with a
+    single fetch-and-add slot claim; pushes beyond [capacity] are
+    dropped, so a push never blocks and never allocates beyond the
+    fixed slot array. Draining is only sound at a {e quiescent point}:
+    every producer must have finished (the pool map that ran them has
+    returned) so the slot writes happen-before the reads. Built for
+    the SAT-attack portfolio, which exports short learned clauses
+    during a racing round and imports them between rounds. *)
+module Share_buffer : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** [Invalid_argument] when [capacity < 1]. *)
+
+  val capacity : 'a t -> int
+
+  val push : 'a t -> 'a -> bool
+  (** Claim the next slot and store the value; [false] (value dropped)
+      when the buffer is full. Wait-free, safe from any domain. *)
+
+  val drain : 'a t -> 'a list
+  (** All stored values in push order, emptying the buffer for the
+      next round. Must only be called when no push is in flight. *)
+end
+
 val shutdown : t -> unit
 (** Join the worker domains. Idempotent. Mapping over a pool after
     [shutdown] raises [Invalid_argument]. *)

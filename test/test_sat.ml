@@ -402,7 +402,7 @@ let qcheck_differential_vs_reference =
 
 let qcheck_differential_incremental_assumptions =
   QCheck2.Test.make ~name:"incremental + assumption paths match oracle"
-    ~count:150
+    ~count:500
     QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 2 40))
     (fun (seed, n_clauses) ->
       let rng = Rng.create seed in
@@ -442,6 +442,60 @@ let qcheck_differential_incremental_assumptions =
            eval_clauses !seen (fun v -> Solver.value s v)
          | Solver.Unsat, Solver_ref.Unsat -> true
          | _ -> false))
+
+let qcheck_diverse_configs_match_reference =
+  (* Every portfolio member's heuristics must decide the same
+     instances: diversification may only change the search path. *)
+  QCheck2.Test.make ~name:"diverse portfolio configs match oracle" ~count:120
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000) (int_range 4 10) (int_range 1 50))
+    (fun (seed, n_vars, n_clauses) ->
+      let rng = Rng.create seed in
+      let clauses = random_cnf rng ~n_vars ~n_clauses in
+      let r = Solver_ref.create () in
+      ignore (Solver_ref.new_vars r n_vars);
+      List.iter (Solver_ref.add_clause r) clauses;
+      let expected = Solver_ref.solve r = Solver_ref.Sat in
+      List.for_all
+        (fun member ->
+          let s = Solver.create ~config:(Solver.diverse_config member) () in
+          ignore (Solver.new_vars s n_vars);
+          List.iter (Solver.add_clause s) clauses;
+          match Solver.solve s with
+          | Solver.Sat -> expected && eval_clauses clauses (fun v -> Solver.value s v)
+          | Solver.Unsat -> not expected
+          | Solver.Unknown _ -> false)
+        [ 0; 1; 2; 3; 4 ])
+
+let qcheck_unknown_leaves_instance_reusable =
+  (* A budgeted Unknown must not poison the instance: the same solver,
+     solved again without a budget, still agrees with the oracle — the
+     property the portfolio relies on when a cancelled helper's solver
+     is reused for the next round. *)
+  QCheck2.Test.make ~name:"Unknown leaves the instance reusable" ~count:150
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 10 50))
+    (fun (seed, n_clauses) ->
+      let rng = Rng.create seed in
+      let n_vars = 8 in
+      let clauses = random_cnf rng ~n_vars ~n_clauses in
+      let s = Solver.create () in
+      ignore (Solver.new_vars s n_vars);
+      List.iter (Solver.add_clause s) clauses;
+      (* Zero propagation budget: trips on the first search loop, so
+         the first call is Unknown whenever the instance needs search. *)
+      (match Solver.solve ~limit:(Limits.make ~max_propagations:0 ()) s with
+      | Solver.Unknown _ | Solver.Sat | Solver.Unsat -> ());
+      let flag = Limits.new_cancel () in
+      Limits.cancel flag;
+      (match Solver.solve ~limit:(Limits.make ~cancel:flag ()) s with
+      | Solver.Unknown _ | Solver.Sat | Solver.Unsat -> ());
+      let r = Solver_ref.create () in
+      ignore (Solver_ref.new_vars r n_vars);
+      List.iter (Solver_ref.add_clause r) clauses;
+      match (Solver.solve s, Solver_ref.solve r) with
+      | Solver.Sat, Solver_ref.Sat -> eval_clauses clauses (fun v -> Solver.value s v)
+      | Solver.Unsat, Solver_ref.Unsat -> true
+      | _ -> false)
 
 (* ------------------------------------------------------------ tseitin *)
 
@@ -697,6 +751,117 @@ let test_approximate_attack_solver_limit () =
   Alcotest.(check bool) "budgeted-out approximate never claims exactness" false
     outcome.Attack.converged
 
+(* The deterministic-result contract: one attack observed (DIP sequence
+   via on_dip + final outcome) at several parallelism settings must be
+   indistinguishable. *)
+let observe_attack ?pool ?portfolio locked =
+  let dips = ref [] in
+  let outcome =
+    Attack.attack_locked ?pool ?portfolio
+      ~on_dip:(fun d -> dips := Array.to_list d :: !dips)
+      locked
+  in
+  (outcome, List.rev !dips)
+
+let test_attack_portfolio_deterministic () =
+  let base = Circuits.adder ~width:3 in
+  let cases =
+    [
+      Lock.point_function ~minterms:[ 12; 19 ] base;
+      Lock.xor_random ~rng:(Rng.create 42) ~key_bits:6 base;
+      Lock.permutation_network ~rng:(Rng.create 17) ~layers:3 base;
+    ]
+  in
+  Rb_util.Pool.with_pool ~jobs:3 (fun pool ->
+      List.iteri
+        (fun i locked ->
+          let reference = observe_attack locked in
+          (* Racing on the pool, racing without one (members tried in
+             index order), and a larger portfolio: all identical. *)
+          List.iteri
+            (fun j observed ->
+              Alcotest.(check bool)
+                (Printf.sprintf "case %d variant %d matches portfolio 1" i j)
+                true (observed = reference))
+            [
+              observe_attack ~portfolio:3 ~pool locked;
+              observe_attack ~portfolio:3 locked;
+              observe_attack ~portfolio:5 ~pool locked;
+            ])
+        cases)
+
+let test_attack_portfolio_breaks_locks () =
+  (* A racing portfolio still recovers a functionally correct key, and
+     repeats its own DIP sequence run over run (cancelled helper
+     solvers are rebuilt per attack, so no state leaks between runs). *)
+  Rb_util.Pool.with_pool ~jobs:4 (fun pool ->
+      let base = Circuits.adder ~width:4 in
+      let locked = Lock.point_function ~minterms:[ 0x42; 0x17 ] base in
+      let first = observe_attack ~portfolio:4 ~pool locked in
+      let again = observe_attack ~portfolio:4 ~pool locked in
+      Alcotest.(check bool) "repeatable" true (first = again);
+      match fst first with
+      | Attack.Broken { key; _ } ->
+        Alcotest.(check bool) "key correct" true (Attack.key_is_correct locked key)
+      | Attack.Budget_exceeded _ | Attack.Solver_limit _ ->
+        Alcotest.fail "portfolio attack should converge")
+
+let test_attack_portfolio_rejects_bad_size () =
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 3 ] base in
+  Alcotest.check_raises "portfolio 0"
+    (Invalid_argument "Attack.new_miter: portfolio must be >= 1") (fun () ->
+      ignore (Attack.attack_locked ~portfolio:0 locked))
+
+let test_attack_budgeted_portfolio_degrades () =
+  Faults.with_config None @@ fun () ->
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 12; 19 ] base in
+  Rb_util.Pool.with_pool ~jobs:3 (fun pool ->
+      (* A zero budget trips member 0's first round even with helpers
+         racing; the attack reports the limit instead of wedging. *)
+      (match Attack.attack_locked ~portfolio:3 ~pool ~limit:(Limits.conflicts 0) locked with
+      | Attack.Solver_limit { iterations; _ } ->
+        Alcotest.(check int) "no DIP completed" 0 iterations
+      | Attack.Broken _ | Attack.Budget_exceeded _ ->
+        Alcotest.fail "zero budget cannot complete a miter solve");
+      (* A generous budget changes nothing about the result. *)
+      match Attack.attack_locked ~portfolio:3 ~pool ~limit:(Limits.conflicts 10_000_000) locked with
+      | Attack.Broken { key; _ } ->
+        Alcotest.(check bool) "key correct" true (Attack.key_is_correct locked key)
+      | Attack.Budget_exceeded _ | Attack.Solver_limit _ ->
+        Alcotest.fail "generous budget should not interfere")
+
+let test_constrain_observation_semantics () =
+  (* constrain_observation must mean exactly circuit(dip, key) = outputs:
+     for every full key assignment, the constrained instance is
+     satisfiable iff simulation under that key reproduces the
+     observation. Exhaustive over the key space. *)
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 33 ] base in
+  let circuit = locked.Lock.circuit in
+  let n_keys = Netlist.n_keys circuit in
+  let rng = Rng.create 91 in
+  for _ = 1 to 10 do
+    let dip = Array.init (Netlist.n_inputs circuit) (fun _ -> Rng.bool rng) in
+    let response = Netlist.eval circuit ~inputs:dip ~keys:locked.Lock.correct_key in
+    let s = Solver.create () in
+    let key_vars = Array.init n_keys (fun _ -> Solver.new_var s) in
+    Tseitin.constrain_observation s circuit ~key_vars ~inputs:dip ~outputs:response;
+    for k = 0 to (1 lsl n_keys) - 1 do
+      let keys = Array.init n_keys (fun i -> k land (1 lsl i) <> 0) in
+      let assumptions =
+        Array.to_list
+          (Array.mapi (fun i v -> if keys.(i) then v else -v) key_vars)
+      in
+      let consistent = Netlist.eval circuit ~inputs:dip ~keys = response in
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d consistency" k)
+        consistent
+        (Solver.solve ~assumptions s = Solver.Sat)
+    done
+  done
+
 let () =
   Alcotest.run "rb_sat"
     [
@@ -780,11 +945,26 @@ let () =
           Alcotest.test_case "approximate under solver limit" `Quick
             test_approximate_attack_solver_limit;
         ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "deterministic across settings" `Quick
+            test_attack_portfolio_deterministic;
+          Alcotest.test_case "racing run breaks locks repeatably" `Quick
+            test_attack_portfolio_breaks_locks;
+          Alcotest.test_case "rejects portfolio < 1" `Quick
+            test_attack_portfolio_rejects_bad_size;
+          Alcotest.test_case "budgeted portfolio degrades gracefully" `Quick
+            test_attack_budgeted_portfolio_degrades;
+          Alcotest.test_case "observation constraint semantics" `Quick
+            test_constrain_observation_semantics;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             qcheck_solver_vs_brute_force; qcheck_incremental_matches_batch;
             qcheck_differential_vs_reference;
             qcheck_differential_incremental_assumptions;
+            qcheck_diverse_configs_match_reference;
+            qcheck_unknown_leaves_instance_reusable;
           ] );
     ]

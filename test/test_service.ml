@@ -46,7 +46,9 @@ let test_job_defaults () =
     job;
   let attack = decode_ok (obj [ ("op", Json.String "attack") ]) in
   Alcotest.check job_testable "attack defaults"
-    (Job.Attack { scheme = Job.Pf; width = 4; strength = 2; seed = 1789; max_iterations = 20_000 })
+    (Job.Attack
+       { scheme = Job.Pf; width = 4; strength = 2; seed = 1789; max_iterations = 20_000;
+         portfolio = 1 })
     attack
 
 let test_job_envelope_ignored () =
@@ -147,8 +149,9 @@ let job_gen =
        and* width = int_range 2 8
        and* strength = int_range 1 256
        and* seed = seed
-       and* max_iterations = int_range 1 10_000_000 in
-       return (Job.Attack { scheme; width; strength; seed; max_iterations }));
+       and* max_iterations = int_range 1 10_000_000
+       and* portfolio = int_range 1 64 in
+       return (Job.Attack { scheme; width; strength; seed; max_iterations; portfolio }));
       (let* text = string_size ~gen:printable (int_range 0 40)
        and* expr = bool
        and* kind = kind
@@ -326,7 +329,9 @@ let mixed_jobs () =
       Job.Lint
         { benchmark = Some "dct"; seed = 1789; locked_fus = 2; minterms_per_fu = 2; min_lambda = None };
       Job.Analyze { scheme = Some Job.Rll; width = 4; strength = 2; seed = 1789 };
-      Job.Attack { scheme = Job.Rll; width = 3; strength = 2; seed = 1789; max_iterations = 20_000 };
+      Job.Attack
+        { scheme = Job.Rll; width = 3; strength = 2; seed = 1789;
+          max_iterations = 20_000; portfolio = 1 };
       Job.Export_cnf { scheme = Job.Pf; width = 4; strength = 2; miter = false; seed = 1789 };
       Job.Export_dfg { benchmark = "dct" };
       Job.Dot { benchmark = "fir" };
@@ -540,6 +545,25 @@ let analyze_all = Job.Analyze { scheme = None; width = 4; strength = 4; seed = 1
 let export_cnf_pf =
   Job.Export_cnf { scheme = Job.Pf; width = 4; strength = 2; miter = true; seed = 1789 }
 
+(* The attack goldens freeze the deterministic-result contract into
+   bytes: the portfolio-4 variant must render the same report as the
+   portfolio-1 job the files were generated from (text wall-clock is
+   the renderer's 0.00s default — outcomes carry no timing). *)
+let attack_pf =
+  Job.Attack
+    { scheme = Job.Pf; width = 4; strength = 2; seed = 1789; max_iterations = 20_000;
+      portfolio = 1 }
+
+let attack_pf_racing =
+  Job.Attack
+    { scheme = Job.Pf; width = 4; strength = 2; seed = 1789; max_iterations = 20_000;
+      portfolio = 4 }
+
+let attack_rll =
+  Job.Attack
+    { scheme = Job.Rll; width = 4; strength = 4; seed = 1789; max_iterations = 20_000;
+      portfolio = 1 }
+
 let golden_tests =
   [
     Alcotest.test_case "list.txt" `Quick (golden_text "list.txt" Job.List_benchmarks);
@@ -556,6 +580,11 @@ let golden_tests =
     Alcotest.test_case "analyze_pf.json" `Quick (golden_json "analyze_pf.json" analyze_pf);
     Alcotest.test_case "analyze_all.json" `Quick (golden_json "analyze_all.json" analyze_all);
     Alcotest.test_case "export_cnf_pf.txt" `Quick (golden_text "export_cnf_pf.txt" export_cnf_pf);
+    Alcotest.test_case "attack_pf.txt" `Quick (golden_text "attack_pf.txt" attack_pf);
+    Alcotest.test_case "attack_pf.json" `Quick (golden_json "attack_pf.json" attack_pf);
+    Alcotest.test_case "attack_pf.json at portfolio 4" `Quick
+      (golden_json "attack_pf.json" attack_pf_racing);
+    Alcotest.test_case "attack_rll.json" `Quick (golden_json "attack_rll.json" attack_rll);
     Alcotest.test_case "export_dfg_dct.txt" `Quick
       (golden_text "export_dfg_dct.txt" (Job.Export_dfg { benchmark = "dct" }));
     Alcotest.test_case "dot_fir.txt" `Quick

@@ -746,6 +746,26 @@ let test_limits_cancel () =
   Alcotest.(check (option reason)) "check sees it too"
     (Some Limits.Cancelled) (Limits.check l ~conflicts:0 ~propagations:0)
 
+let test_limits_with_cancel () =
+  (* with_cancel layers a second flag over an existing limit: either
+     flag interrupts, and the base limit's budgets keep counting. *)
+  let base_flag = Limits.new_cancel () in
+  let extra_flag = Limits.new_cancel () in
+  let base = Limits.make ~max_conflicts:10 ~cancel:base_flag () in
+  let layered = Limits.with_cancel base extra_flag in
+  Alcotest.(check (option reason)) "no flag raised" None (Limits.interrupted layered);
+  Alcotest.(check (option reason)) "budget survives layering"
+    (Some Limits.Conflicts)
+    (Limits.check layered ~conflicts:10 ~propagations:0);
+  Limits.cancel extra_flag;
+  Alcotest.(check (option reason)) "added flag interrupts"
+    (Some Limits.Cancelled) (Limits.interrupted layered);
+  Alcotest.(check (option reason)) "base limit unaffected by added flag" None
+    (Limits.interrupted base);
+  let two = Limits.with_cancel (Limits.with_cancel Limits.none base_flag) extra_flag in
+  Alcotest.(check (option reason)) "any flag in the stack interrupts"
+    (Some Limits.Cancelled) (Limits.interrupted two)
+
 let test_limits_deadline () =
   let past = Limits.make ~deadline_s:0.0 () in
   Alcotest.(check (option reason)) "past deadline trips"
@@ -770,6 +790,46 @@ let test_limits_notes_counters () =
         (counter_at "limits/budget_exhausted" snap);
       Alcotest.(check int) "deadline" 1 (counter_at "limits/deadline_exceeded" snap);
       Alcotest.(check int) "cancelled" 1 (counter_at "limits/cancelled" snap))
+
+(* --------------------------------------------------------- Share_buffer *)
+
+let test_share_buffer_push_drain_order () =
+  let b = Pool.Share_buffer.create ~capacity:8 in
+  Alcotest.(check int) "capacity" 8 (Pool.Share_buffer.capacity b);
+  List.iter (fun v -> assert (Pool.Share_buffer.push b v)) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "drain in push order" [ 1; 2; 3 ]
+    (Pool.Share_buffer.drain b);
+  Alcotest.(check (list int)) "drain empties" [] (Pool.Share_buffer.drain b);
+  (* Reusable after a drain: slots are reclaimed, not consumed. *)
+  assert (Pool.Share_buffer.push b 42);
+  Alcotest.(check (list int)) "next round sees new values" [ 42 ]
+    (Pool.Share_buffer.drain b)
+
+let test_share_buffer_drops_when_full () =
+  let b = Pool.Share_buffer.create ~capacity:2 in
+  Alcotest.(check bool) "first" true (Pool.Share_buffer.push b 1);
+  Alcotest.(check bool) "second" true (Pool.Share_buffer.push b 2);
+  Alcotest.(check bool) "overflow dropped" false (Pool.Share_buffer.push b 3);
+  Alcotest.(check (list int)) "stored values survive the drop" [ 1; 2 ]
+    (Pool.Share_buffer.drain b);
+  Alcotest.(check bool) "space again after drain" true (Pool.Share_buffer.push b 4)
+
+let test_share_buffer_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Share_buffer.create: capacity must be >= 1") (fun () ->
+      ignore (Pool.Share_buffer.create ~capacity:0))
+
+let test_share_buffer_concurrent_pushes () =
+  (* Racing pushes from pool workers: every accepted value must appear
+     exactly once in the drain — no slot may be lost or duplicated. *)
+  let b = Pool.Share_buffer.create ~capacity:128 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      ignore
+        (Pool.map_array pool
+           ~f:(fun i -> assert (Pool.Share_buffer.push b i))
+           (Array.init 100 Fun.id)));
+  let drained = List.sort compare (Pool.Share_buffer.drain b) in
+  Alcotest.(check (list int)) "all pushes land once" (List.init 100 Fun.id) drained
 
 (* --------------------------------------------------------------- Faults *)
 
@@ -1258,8 +1318,21 @@ let () =
           Alcotest.test_case "none" `Quick test_limits_none;
           Alcotest.test_case "budgets" `Quick test_limits_budgets;
           Alcotest.test_case "cancel flag" `Quick test_limits_cancel;
+          Alcotest.test_case "with_cancel layers flags" `Quick
+            test_limits_with_cancel;
           Alcotest.test_case "deadline" `Quick test_limits_deadline;
           Alcotest.test_case "note counters" `Quick test_limits_notes_counters;
+        ] );
+      ( "share_buffer",
+        [
+          Alcotest.test_case "push/drain order" `Quick
+            test_share_buffer_push_drain_order;
+          Alcotest.test_case "drop when full" `Quick
+            test_share_buffer_drops_when_full;
+          Alcotest.test_case "capacity validated" `Quick
+            test_share_buffer_invalid_capacity;
+          Alcotest.test_case "concurrent pushes" `Quick
+            test_share_buffer_concurrent_pushes;
         ] );
       ( "faults",
         [
