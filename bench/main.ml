@@ -803,7 +803,7 @@ let serve_palette () =
    race). Stdout carries only deterministic counts; latency
    percentiles and throughput are timings, so they go to stderr and
    runtime/ gauges. *)
-let serve_replay ~pool () =
+let rec serve_replay ~pool () =
   section
     "Serve - rb-job/1 traffic replay: 100k overlapping jobs through the\n\
      executor's content-addressed store (p50/p99 latency on stderr)";
@@ -846,8 +846,106 @@ let serve_replay ~pool () =
   Metrics.set_gauge (Metrics.gauge ~scope:"runtime" "serve p50 ms-per-job") (1000. *. p50);
   Metrics.set_gauge (Metrics.gauge ~scope:"runtime" "serve p99 ms-per-job") (1000. *. p99);
   Metrics.set_gauge (Metrics.gauge ~scope:"runtime" "serve jobs-per-s") throughput;
+  Metrics.set_gauge
+    (Metrics.gauge ~scope:"runtime" "serve hit-rate %")
+    (100.0 *. float_of_int stats.Rb_service.Store.hits /. float_of_int (max 1 lookups));
   Printf.eprintf "  [serve: p50 %.3f ms, p99 %.3f ms, %.0f jobs/s]\n" (1000. *. p50)
-    (1000. *. p99) throughput
+    (1000. *. p99) throughput;
+  serve_bounded_replay ~pool ();
+  serve_admission_micro ~pool ()
+
+(* The bounded daemon: the same traffic shape under --store-cap. The
+   palette is closure-free on purpose — export jobs cache Locked
+   netlists and Exported text, pure data whose Obj.reachable_words
+   cost is a stable property of the value — and the replay is
+   sequential, so the LRU access order, and with it the
+   [cache/evictions] delta the perf gate pins, is deterministic and
+   identical on every machine and compiler the gate runs on. The
+   acceptance bar: evictions actually happen, resident bytes stay at
+   the cap, and every response is byte-identical to the unbounded
+   daemon's. *)
+and serve_bounded_replay ~pool () =
+  let open Rb_service.Job in
+  let palette =
+    List.concat_map
+      (fun scheme ->
+        List.concat_map
+          (fun width ->
+            List.map
+              (fun seed ->
+                Export_cnf { scheme; width; strength = 2; miter = false; seed })
+              [ 1789; 1790 ])
+          [ 3; 4; 5 ])
+      [ Rll; Pf; Permnet ]
+    @ [
+        Export_dfg { benchmark = "dct" };
+        Export_dfg { benchmark = "fir" };
+        Dot { benchmark = "dct" };
+        Dot { benchmark = "fir" };
+      ]
+  in
+  let palette = Array.of_list palette in
+  let render r =
+    match r with
+    | Ok outcome -> Json.to_string (Rb_service.Render.result_to_json outcome)
+    | Error e -> Json.to_string (Rb_service.Error.to_json e)
+  in
+  (* Reference pass: unbounded store, one run per palette entry, and
+     the total resident cost the cap is derived from. *)
+  let reference_store = Rb_service.Store.create () in
+  let reference = Rb_service.Executor.create ~store:reference_store ~pool () in
+  let expected = Array.map (fun job -> render (Rb_service.Executor.run reference job)) palette in
+  let total_bytes = (Rb_service.Store.stats reference_store).Rb_service.Store.bytes in
+  let cap_bytes = max 1 (total_bytes / 2) in
+  let store = Rb_service.Store.create ~cap_bytes () in
+  let executor = Rb_service.Executor.create ~store ~pool () in
+  let n_jobs = 20_000 in
+  let rng = Rng.create 20_260_809 in
+  let divergent = ref 0 in
+  let t0 = Metrics.now_s () in
+  for _ = 1 to n_jobs do
+    let i = Rng.int rng (Array.length palette) in
+    if render (Rb_service.Executor.run executor palette.(i)) <> expected.(i) then
+      incr divergent
+  done;
+  let wall = Metrics.now_s () -. t0 in
+  let stats = Rb_service.Store.stats store in
+  Printf.printf
+    "  bounded replay: %d sequential jobs from a %d-job closure-free palette\n"
+    n_jobs (Array.length palette);
+  Printf.printf "  store cap: half of the %d-byte working set\n" total_bytes;
+  Printf.printf "  evictions: %d (resident bytes within cap: %b)\n"
+    stats.Rb_service.Store.evictions
+    (stats.Rb_service.Store.bytes <= cap_bytes);
+  Printf.printf "  responses byte-identical to the unbounded daemon: %b\n"
+    (!divergent = 0);
+  Printf.eprintf "  [serve bounded: %.0f jobs/s]\n" (float_of_int n_jobs /. wall)
+
+(* Admission control through the real NDJSON loop: a burst gathered as
+   one batch against an in-flight cap of 2 sheds all but the first two
+   lines, pinning a fixed [serve/rejected] delta for the perf gate. *)
+and serve_admission_micro ~pool () =
+  let requests =
+    List.init 8 (fun i ->
+        Printf.sprintf {|{"schema":"rb-job/1","id":%d,"op":"list"}|} i)
+  in
+  let payload = String.concat "" (List.map (fun r -> r ^ "\n") requests) in
+  let read_fd, write_fd = Unix.pipe ~cloexec:true () in
+  ignore (Unix.write_substring write_fd payload 0 (String.length payload));
+  Unix.close write_fd;
+  let executor = Rb_service.Executor.create ~pool () in
+  let admission = Rb_service.Serve.Admission.create 2 in
+  let null = open_out Filename.null in
+  let stop =
+    Rb_service.Serve.run ~executor ~batch_size:8 ~admission ~input:read_fd
+      ~output:null ()
+  in
+  close_out null;
+  Unix.close read_fd;
+  Printf.printf "  admission: burst of %d against an in-flight cap of 2 -> %d shed\n"
+    (List.length requests)
+    (List.length requests - 2);
+  assert (stop = Rb_service.Serve.Eof)
 
 (* ------------------------------------------------------------------ CLI *)
 

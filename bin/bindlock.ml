@@ -23,6 +23,7 @@ module Limits = Rb_util.Limits
 module Job = Rb_service.Job
 module Error = Rb_service.Error
 module Executor = Rb_service.Executor
+module Store = Rb_service.Store
 module Outcome = Rb_service.Outcome
 module Render = Rb_service.Render
 module Serve = Rb_service.Serve
@@ -328,29 +329,63 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"N"
            ~doc:"Greedy batch cap per dispatch (default: 4x the worker count).")
   in
-  let run jobs socket batch_size =
-    let cancel = Limits.new_cancel () in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Limits.cancel cancel));
-    (if Sys.unix then
-       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-    let stop =
-      Pool.with_pool ~jobs (fun pool ->
-          let limit = Limits.make ~cancel () in
-          let executor = Executor.create ~limit ~pool () in
-          match socket with
-          | Some path -> Serve.run_socket ~executor ~cancel ?batch_size ~path ()
-          | None ->
-            Serve.run ~executor ~cancel ?batch_size ~input:Unix.stdin ~output:stdout ())
-    in
-    match stop with Serve.Eof -> Ok () | Serve.Cancelled -> exit 130
+  let store_cap_arg =
+    Arg.(value & opt (some int) None & info [ "store-cap" ] ~docv:"MB"
+           ~doc:"Bound the result cache to $(docv) megabytes; least-recently-used \
+                 artifacts are evicted when an insert overflows the cap \
+                 (default: unbounded).")
+  in
+  let max_inflight_arg =
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Shed requests over $(docv) concurrently running jobs with a \
+                 structured 'overloaded' error (default: no cap).")
+  in
+  let run jobs socket batch_size store_cap_mb max_inflight =
+    (match store_cap_mb with
+    | Some mb when mb < 1 -> Error (`Msg "--store-cap must be at least 1 MB")
+    | _ -> (
+      match max_inflight with
+      | Some n when n < 1 -> Error (`Msg "--max-inflight must be at least 1")
+      | _ ->
+        let cancel = Limits.new_cancel () in
+        let drain = Atomic.make false in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Limits.cancel cancel));
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set drain true));
+        (if Sys.unix then
+           try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+           with Invalid_argument _ -> ());
+        let stop =
+          Pool.with_pool ~jobs (fun pool ->
+              let limit = Limits.make ~cancel () in
+              let store =
+                match store_cap_mb with
+                | None -> Store.create ()
+                | Some mb -> Store.create ~cap_bytes:(mb * 1024 * 1024) ()
+              in
+              let executor = Executor.create ~limit ~store ~pool () in
+              match socket with
+              | Some path ->
+                Serve.run_socket ~executor ~cancel ~drain ?batch_size ?max_inflight
+                  ~path ()
+              | None ->
+                let admission = Option.map Serve.Admission.create max_inflight in
+                Serve.run ~executor ~cancel ~drain ?batch_size ?admission
+                  ~input:Unix.stdin ~output:stdout ())
+        in
+        match stop with
+        | Serve.Eof | Serve.Drained -> Ok ()
+        | Serve.Cancelled -> exit 130))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve rb-job/1 requests as newline-delimited JSON: one job per input \
              line, one rb-result/1 line per job, dispatched in batches over the \
-             worker pool with a content-addressed result cache. SIGINT drains and \
-             exits 130.")
-    Term.(term_result (const run $ jobs_arg $ socket_arg $ batch_arg))
+             worker pool with a content-addressed result cache. Socket mode serves \
+             each connection on its own thread. SIGTERM drains in-flight work and \
+             exits 0; SIGINT cancels it and exits 130.")
+    Term.(term_result
+            (const run $ jobs_arg $ socket_arg $ batch_arg $ store_cap_arg
+             $ max_inflight_arg))
 
 let () =
   let info =

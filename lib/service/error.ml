@@ -1,6 +1,12 @@
 module Json = Rb_util.Json
 
-type code = Invalid_request | Unknown_target | Infeasible | Limit | Internal
+type code =
+  | Invalid_request
+  | Unknown_target
+  | Infeasible
+  | Limit
+  | Overloaded
+  | Internal
 
 type t = { code : code; message : string }
 
@@ -11,6 +17,7 @@ let code_label = function
   | Unknown_target -> "unknown-target"
   | Infeasible -> "infeasible"
   | Limit -> "limit"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
 let code_of_label = function
@@ -18,6 +25,7 @@ let code_of_label = function
   | "unknown-target" -> Some Unknown_target
   | "infeasible" -> Some Infeasible
   | "limit" -> Some Limit
+  | "overloaded" -> Some Overloaded
   | "internal" -> Some Internal
   | _ -> None
 

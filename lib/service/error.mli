@@ -12,7 +12,8 @@ type code =
   | Invalid_request  (** malformed JSON, bad field type, out-of-bounds parameter *)
   | Unknown_target  (** a name that resolves against no registry entry *)
   | Infeasible  (** well-formed, but the design cannot satisfy it *)
-  | Limit  (** a resource budget stopped the job *)
+  | Limit  (** a resource budget or deadline stopped the job *)
+  | Overloaded  (** shed by admission control: the daemon is at its in-flight cap *)
   | Internal  (** unexpected exception; the message is diagnostic only *)
 
 type t = { code : code; message : string }
@@ -21,7 +22,7 @@ val make : code -> string -> t
 
 val code_label : code -> string
 (** Stable wire strings: ["invalid-request"], ["unknown-target"],
-    ["infeasible"], ["limit"], ["internal"]. *)
+    ["infeasible"], ["limit"], ["overloaded"], ["internal"]. *)
 
 val code_of_label : string -> code option
 

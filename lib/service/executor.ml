@@ -14,7 +14,9 @@ module Json = Rb_util.Json
 module Pool = Rb_util.Pool
 module Metrics = Rb_util.Metrics
 
-type t = { pool : Pool.t; store : Store.t; limit : Rb_util.Limits.t option }
+module Limits = Rb_util.Limits
+
+type t = { pool : Pool.t; store : Store.t; limit : Limits.t option }
 
 exception Fail of Error.t
 
@@ -279,7 +281,7 @@ let run_lint t ~benchmark ~seed ~locked_fus ~minterms_per_fu ~min_lambda =
   in
   Outcome.Linted (gate_reports @ List.concat design_reports)
 
-let run_analyze t ~scheme ~width ~strength ~seed =
+let run_analyze t ~limit ~scheme ~width ~strength ~seed =
   let schemes =
     match scheme with
     | None -> [ Job.Rll; Job.Pf; Job.Antisat; Job.Permnet ]
@@ -302,7 +304,7 @@ let run_analyze t ~scheme ~width ~strength ~seed =
         match
           Store.find_or_compute t.store ~key (fun () ->
               Store.Analysis
-                (Rb_analysis.Report.analyze ?limit:t.limit
+                (Rb_analysis.Report.analyze ?limit
                    ~subject:l.Rb_netlist.Lock.description l.Rb_netlist.Lock.circuit))
         with
         | Store.Analysis r -> r
@@ -311,15 +313,14 @@ let run_analyze t ~scheme ~width ~strength ~seed =
   in
   Outcome.Analyzed reports
 
-let run_attack t ~scheme ~width ~strength ~seed ~max_iterations ~portfolio =
+let run_attack t ~limit ~scheme ~width ~strength ~seed ~max_iterations ~portfolio =
   let l = locked t scheme width strength seed in
   let stats =
     Format.asprintf "%a" Rb_netlist.Netlist.pp_stats l.Rb_netlist.Lock.circuit
   in
   let outcome =
     match
-      Rb_sat.Attack.attack_locked ~max_iterations ?limit:t.limit ~pool:t.pool
-        ~portfolio l
+      Rb_sat.Attack.attack_locked ~max_iterations ?limit ~pool:t.pool ~portfolio l
     with
     | Rb_sat.Attack.Broken { key; iterations } ->
       let bits =
@@ -333,6 +334,14 @@ let run_attack t ~scheme ~width ~strength ~seed ~max_iterations ~portfolio =
         }
     | Rb_sat.Attack.Budget_exceeded { iterations } ->
       Outcome.Budget_exceeded { iterations }
+    | Rb_sat.Attack.Solver_limit { iterations; reason = Limits.Deadline } ->
+      (* A wall-clock stop depends on when the job ran, not on what it
+         was; surface the structured limit error (never cached)
+         instead of an outcome the store would replay to later
+         requests with laxer deadlines. *)
+      fail Error.Limit "attack stopped by deadline after %d DIP iterations" iterations
+    | Rb_sat.Attack.Solver_limit { iterations; reason = Limits.Cancelled } ->
+      fail Error.Limit "attack cancelled after %d DIP iterations" iterations
     | Rb_sat.Attack.Solver_limit { iterations; reason } ->
       Outcome.Solver_limit { iterations; reason }
   in
@@ -405,7 +414,7 @@ let run_export_cnf t ~scheme ~width ~strength ~miter ~seed =
          ]
        d)
 
-let execute t (job : Job.t) =
+let execute t ~limit (job : Job.t) =
   match job with
   | Job.List_benchmarks -> run_list ()
   | Job.Show { benchmark; seed } -> run_show t ~benchmark ~seed
@@ -414,9 +423,9 @@ let execute t (job : Job.t) =
   | Job.Lint { benchmark; seed; locked_fus; minterms_per_fu; min_lambda } ->
     run_lint t ~benchmark ~seed ~locked_fus ~minterms_per_fu ~min_lambda
   | Job.Analyze { scheme; width; strength; seed } ->
-    run_analyze t ~scheme ~width ~strength ~seed
+    run_analyze t ~limit ~scheme ~width ~strength ~seed
   | Job.Attack { scheme; width; strength; seed; max_iterations; portfolio } ->
-    run_attack t ~scheme ~width ~strength ~seed ~max_iterations ~portfolio
+    run_attack t ~limit ~scheme ~width ~strength ~seed ~max_iterations ~portfolio
   | Job.Custom { source; kind; locked_fus; minterms_per_fu; trace_length; seed } ->
     run_custom t ~source ~kind ~locked_fus ~minterms_per_fu ~trace_length ~seed
   | Job.Export_cnf { scheme; width; strength; miter; seed } ->
@@ -428,24 +437,59 @@ let execute t (job : Job.t) =
     let b = find_benchmark benchmark in
     Outcome.Exported (Dfg.to_dot b.Benchmark.dfg)
 
-let run t job =
+(* The wall-clock half of the limit checks. Deadline and cancel stops
+   depend on the clock and on who pulled the flag, not on the job, so
+   they become structured limit errors — which the store never caches —
+   rather than truncated outcomes a later identical request would be
+   served from cache. *)
+let volatile_stop limit =
+  match limit with
+  | None -> None
+  | Some l -> (
+    match Limits.interrupted l with
+    | Some Limits.Deadline -> Some "deadline exceeded"
+    | Some Limits.Cancelled -> Some "cancelled"
+    | Some _ | None -> None)
+
+let check_volatile limit ~when_ =
+  match volatile_stop limit with
+  | Some what -> fail Error.Limit "%s %s" what when_
+  | None -> ()
+
+let run ?deadline_s t job =
   Metrics.incr jobs_counter;
+  let limit =
+    match deadline_s with
+    | None -> t.limit
+    | Some d ->
+      Some (Limits.with_deadline (Option.value t.limit ~default:Limits.none) d)
+  in
   match Job.validate job with
   | Error e -> Error e
   | Ok () -> (
     match
       Store.find_or_compute t.store ~key:("job:" ^ Job.digest job) (fun () ->
-          Store.Value (execute t job))
+          (* A job that spent its whole deadline queued behind a batch
+             (or arrived after SIGINT) stops here instead of starting
+             work it can no longer finish in time. *)
+          check_volatile limit ~when_:"before execution";
+          let outcome = execute t ~limit job in
+          (* Pipelines that degrade in place (analysis marking itself
+             stopped) rather than reporting a reason: a volatile stop
+             during the run means the outcome may be truncated, so
+             refuse to cache or return it. *)
+          check_volatile limit ~when_:"during execution";
+          Store.Value outcome)
     with
     | Store.Value o -> Ok o
     | _ -> Error (Error.make Error.Internal "corrupt cache entry")
     | exception Fail e -> Error e
     | exception e -> Error (Error.make Error.Internal (Printexc.to_string e)))
 
-let run_batch t jobs =
+let run_batch ?deadline_s t jobs =
   Pool.map_array t.pool
     ~f:(fun job ->
       let t0 = Metrics.now_s () in
-      let r = run t job in
+      let r = run ?deadline_s t job in
       (r, Metrics.now_s () -. t0))
     jobs

@@ -1,4 +1,5 @@
-(** Content-addressed artifact store with single-flight computation.
+(** Content-addressed artifact store with single-flight computation
+    and optional byte-cost-accounted LRU eviction.
 
     The executor keys every intermediate it produces — parsed
     benchmark contexts, locked netlists, lint/analysis reports, CNF
@@ -10,18 +11,24 @@
     Lookups are {e single-flight}: when several pool workers ask for
     the same missing key concurrently, exactly one computes while the
     rest block on a condition variable and receive the finished
-    artifact. That discipline is what keeps the [cache/hits] and
-    [cache/misses] counters deterministic across [--jobs] — each
-    distinct key accounts for exactly one miss no matter how many
-    workers race for it, so the serve bench's hit rate is a property
-    of the workload, not of scheduling. A computation that raises
-    removes its pending entry (every waiter re-raises is {e not} the
-    contract — waiters retry the compute themselves, each counting its
-    own miss), so failures are never cached.
+    artifact through a result box shared with the computing worker.
+    That discipline is what keeps the [cache/hits] and [cache/misses]
+    counters deterministic across [--jobs] — each distinct key
+    accounts for exactly one miss no matter how many workers race for
+    it. A computation that raises removes its pending entry (waiters
+    retry the compute themselves, each counting its own miss), so
+    failures are never cached.
 
-    The store is unbounded and in-memory; it lives as long as its
-    executor. Sizing it is the workload's job — the serve bench's
-    palette of ~40 distinct jobs peaks well under a megabyte. *)
+    With [cap_bytes] set the store is {e bounded}: each resident
+    artifact is priced by its reachable words, and inserts that push
+    the total over the cap evict least-recently-used Ready entries
+    until it fits again ([cache/evictions] counter, [store/bytes]
+    gauge). Eviction composes with single-flight: a waiter blocked on
+    a pending computation receives the artifact through the shared box
+    even if the cache slot is evicted before the waiter wakes, and
+    in-flight (Pending) entries are never eviction victims. Without a
+    cap the store is unbounded and in-memory, as before; it lives as
+    long as its executor. *)
 
 type context = {
   benchmark : Rb_workload.Benchmark.t;
@@ -43,22 +50,33 @@ type artifact =
 
 type t
 
-val create : unit -> t
+val create : ?cap_bytes:int -> unit -> t
+(** [cap_bytes] bounds the resident artifact bytes; omitted means
+    unbounded. [Invalid_argument] when [cap_bytes < 1]. *)
+
+val cost_of : artifact -> int
+(** The byte cost eviction accounts for one artifact: its reachable
+    words times the word size. Exposed for tests and capacity
+    planning. *)
 
 val find_or_compute : t -> key:string -> (unit -> artifact) -> artifact
 (** Return the cached artifact for [key], or run the thunk (at most
-    one concurrent run per key) and cache its result. Exceptions from
-    the thunk propagate to the computing caller and leave the key
-    absent; concurrent waiters then recompute. Counts one
-    [cache/hits] per ready lookup and one [cache/misses] per compute
-    attempt, both on the process-wide {!Rb_util.Metrics} registry and
-    on the store's own {!stats}. *)
+    one concurrent run per key) and cache its result, evicting LRU
+    entries if the insert overflows the cap. Exceptions from the
+    thunk propagate to the computing caller and leave the key absent;
+    concurrent waiters then recompute. Counts one [cache/hits] per
+    ready lookup and one [cache/misses] per compute attempt, both on
+    the process-wide {!Rb_util.Metrics} registry and on the store's
+    own {!stats}. The ["store/evict"] fault site makes an eviction
+    pass fail benignly: the store stays over cap until the next
+    insert instead of surfacing the fault. *)
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; evictions : int; bytes : int }
 
 val stats : t -> stats
 (** This store's own tallies (unlike the Metrics counters, unaffected
-    by other stores in the process). *)
+    by other stores in the process). [bytes] is the current resident
+    cost, [evictions] the total entries dropped by the cap. *)
 
 val size : t -> int
 (** Number of ready entries. *)

@@ -18,7 +18,13 @@
     - ["pool/task"], keyed by task index — fails a {!Pool} task on its
       first attempt only, so retried tasks always recover;
     - ["sat/budget"], keyed by per-solver solve ordinal — makes a
-      budgeted [Solver.solve] report [Unknown] immediately.
+      budgeted [Solver.solve] report [Unknown] immediately;
+    - ["serve/conn"], keyed by connection ordinal — kills one socket
+      connection's handler thread at accept time; the daemon keeps
+      serving every other connection;
+    - ["store/evict"], keyed by the store's access tick — fails one
+      eviction pass; the store stays over cap until the next insert
+      instead of failing the lookup.
 
     Configuration can come from the environment (read once at module
     initialization), which is how the CI fault job enables the harness

@@ -25,6 +25,17 @@ let cancelled flag = Atomic.get flag
 
 let with_cancel t flag = { t with cancels = flag :: t.cancels }
 
+(* Deadlines compose by tightening: the earlier of the two wins, so a
+   per-request deadline can only shrink whatever the daemon already
+   imposed. *)
+let with_deadline t deadline_s =
+  let deadline_s =
+    match t.deadline_s with Some d -> Float.min d deadline_s | None -> deadline_s
+  in
+  { t with deadline_s = Some deadline_s }
+
+let has_deadline t = t.deadline_s <> None
+
 let exceeds budget used =
   match budget with Some b -> used >= b | None -> false
 

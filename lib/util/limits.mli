@@ -70,6 +70,18 @@ val with_cancel : t -> bool Atomic.t -> t
     first-winner flag composed with an outer SIGINT flag — without
     the layers knowing about each other. *)
 
+val with_deadline : t -> float -> t
+(** [with_deadline t d] tightens [t] with an absolute deadline on the
+    {!Metrics.now_s} clock: the result trips as [Deadline] at the
+    earlier of [d] and any deadline already in [t]. Deadlines only
+    ever shrink, so a per-request deadline composed onto a daemon-wide
+    budget cannot extend it. *)
+
+val has_deadline : t -> bool
+(** [true] iff a wall deadline is set. Lets a caller distinguish a
+    deadline-bearing limit (whose results must not be cached — they
+    depend on the clock) from a purely deterministic one. *)
+
 val check : t -> conflicts:int -> propagations:int -> reason option
 (** Poll every limit against the caller's {e per-call} work deltas.
     Checks in a fixed order — [Conflicts], [Propagations], [Cancelled],

@@ -198,7 +198,7 @@ let test_store_single_flight () =
       Alcotest.(check string) "same artifact" a b
   | _ -> Alcotest.fail "unexpected artifact shape");
   Alcotest.(check int) "computed once" 1 (Atomic.get computed);
-  let { Store.hits; misses } = Store.stats store in
+  let { Store.hits; misses; _ } = Store.stats store in
   Alcotest.(check int) "one miss" 1 misses;
   Alcotest.(check int) "one hit" 1 hits;
   Alcotest.(check int) "one ready entry" 1 (Store.size store)
@@ -218,7 +218,7 @@ let test_store_failure_not_cached () =
   (match Store.find_or_compute store ~key:"k" flaky with
   | Store.Text s -> Alcotest.(check string) "retry recomputes" "recovered" s
   | _ -> Alcotest.fail "unexpected artifact shape");
-  let { Store.hits; misses } = Store.stats store in
+  let { Store.hits; misses; _ } = Store.stats store in
   Alcotest.(check int) "every attempt is a miss" 2 misses;
   Alcotest.(check int) "no hits" 0 hits
 
@@ -241,9 +241,95 @@ let test_store_concurrent_single_flight () =
       in
       Array.iter (fun s -> Alcotest.(check string) "all waiters agree" "shared" s) results);
   Alcotest.(check int) "exactly one compute" 1 (Atomic.get computed);
-  let { Store.hits; misses } = Store.stats store in
+  let { Store.hits; misses; _ } = Store.stats store in
   Alcotest.(check int) "one miss regardless of racing workers" 1 misses;
   Alcotest.(check int) "everyone else hits" 15 hits
+
+(* Three same-cost artifacts against a cap that holds two: the insert
+   of the third must evict exactly the least-recently-used entry. *)
+let test_store_lru_eviction () =
+  let payload c = Store.Text (String.make 1000 c) in
+  let cost = Store.cost_of (payload 'a') in
+  let store = Store.create ~cap_bytes:(2 * cost) () in
+  let computed = Atomic.make 0 in
+  let get key c =
+    match
+      Store.find_or_compute store ~key (fun () ->
+          Atomic.incr computed;
+          payload c)
+    with
+    | Store.Text s -> s
+    | _ -> Alcotest.fail "unexpected artifact shape"
+  in
+  ignore (get "a" 'a');
+  ignore (get "b" 'b');
+  ignore (get "a" 'a');
+  (* touch: b is now LRU *)
+  ignore (get "c" 'c');
+  let { Store.evictions; bytes; _ } = Store.stats store in
+  Alcotest.(check int) "third insert evicts one entry" 1 evictions;
+  Alcotest.(check int) "two entries resident" 2 (Store.size store);
+  Alcotest.(check bool) "resident bytes within cap" true (bytes <= 2 * cost);
+  Alcotest.(check int) "three computes so far" 3 (Atomic.get computed);
+  ignore (get "a" 'a');
+  Alcotest.(check int) "a survived (recently used)" 3 (Atomic.get computed);
+  ignore (get "b" 'b');
+  Alcotest.(check int) "b was the victim, recomputed" 4 (Atomic.get computed)
+
+(* A failing eviction pass (injected ["store/evict"] fault) must
+   degrade — store temporarily over cap — never surface to the
+   caller; the next unfaulted insert catches up. *)
+let test_store_evict_fault_degrades () =
+  let payload c = Store.Text (String.make 1000 c) in
+  let cost = Store.cost_of (payload 'a') in
+  let store = Store.create ~cap_bytes:(2 * cost) () in
+  let get key c =
+    ignore (Store.find_or_compute store ~key (fun () -> payload c))
+  in
+  Rb_util.Faults.with_config
+    (Some { Rb_util.Faults.seed = 1; rate_per_mille = 1000; sites = [ "store/evict" ] })
+    (fun () ->
+      get "a" 'a';
+      get "b" 'b';
+      get "c" 'c';
+      get "d" 'd');
+  let over = Store.stats store in
+  Alcotest.(check int) "faulted eviction passes evict nothing" 0 over.Store.evictions;
+  Alcotest.(check int) "store is over cap but intact" 4 (Store.size store);
+  get "e" 'e';
+  let after = Store.stats store in
+  Alcotest.(check bool) "next insert catches up" true (after.Store.evictions >= 3);
+  Alcotest.(check bool) "resident bytes back within cap" true
+    (after.Store.bytes <= 2 * cost)
+
+(* Single-flight must hold under eviction churn: racing workers on a
+   store whose cap holds only a fraction of the key space always get
+   the artifact belonging to their key, never a stale or foreign
+   one. *)
+let qcheck_store_eviction_single_flight =
+  let open QCheck2.Gen in
+  let gen = list_size (int_range 20 120) (int_range 0 7) in
+  QCheck2.Test.make ~name:"bounded store serves the right artifact under churn"
+    ~count:25 gen (fun keys ->
+      let payload i = String.make (50 * (i + 1)) (Char.chr (Char.code 'a' + i)) in
+      let cost = Store.cost_of (Store.Text (payload 7)) in
+      let store = Store.create ~cap_bytes:(2 * cost) () in
+      let ok =
+        Pool.with_pool ~jobs:4 (fun pool ->
+            Pool.map_array pool
+              ~f:(fun i ->
+                match
+                  Store.find_or_compute store ~key:(string_of_int i) (fun () ->
+                      Store.Text (payload i))
+                with
+                | Store.Text s -> s = payload i
+                | _ -> false)
+              (Array.of_list keys))
+      in
+      Array.for_all Fun.id ok
+      &&
+      let { Store.bytes; _ } = Store.stats store in
+      bytes <= 2 * cost)
 
 (* -------------------------------------------------------------- Executor *)
 
@@ -354,7 +440,7 @@ let test_executor_jobs_invariant () =
 let test_executor_batch_cache_rate () =
   with_executor ~jobs:2 (fun ex ->
       ignore (Executor.run_batch ex (mixed_jobs ()));
-      let { Store.hits; misses } = Store.stats (Executor.store ex) in
+      let { Store.hits; misses; _ } = Store.stats (Executor.store ex) in
       let rate = float_of_int hits /. float_of_int (hits + misses) in
       Alcotest.(check bool)
         (Printf.sprintf "hit rate %.2f above floor" rate)
@@ -478,6 +564,266 @@ let test_serve_run_pipe () =
       Alcotest.(check string) "duplicate jobs answer identically"
         (strip_id (List.nth lines 2))
         (strip_id (List.nth lines 3)))
+
+(* ------------------------------------------------- Serve: robustness *)
+
+module Limits = Rb_util.Limits
+module Metrics = Rb_util.Metrics
+
+(* An already-expired deadline answers the structured limit error, and
+   the truncated run leaves nothing behind in the cache. *)
+let test_executor_deadline () =
+  with_executor (fun ex ->
+      let job = Job.Show { benchmark = "dct"; seed = 1789 } in
+      (match Executor.run ~deadline_s:(Metrics.now_s () -. 1.0) ex job with
+      | Error e ->
+          Alcotest.(check string) "deadline error code" "limit"
+            (Error.code_label e.Error.code);
+          Alcotest.(check bool) "deadline error message" true
+            (String.length e.Error.message >= 8
+            && String.sub e.Error.message 0 8 = "deadline")
+      | Ok _ -> Alcotest.fail "expired deadline should not produce an outcome");
+      Alcotest.(check int) "expired run cached nothing" 0
+        (Store.size (Executor.store ex));
+      match Executor.run ex job with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "same job without deadline fails: %s" e.Error.message)
+
+let test_serve_deadline_envelope () =
+  with_executor (fun ex ->
+      let respond s = parse_response (Serve.respond ex s) in
+      (* a generous deadline changes nothing *)
+      let ok = respond {|{"schema":"rb-job/1","id":1,"op":"list","deadline_ms":60000}|} in
+      Alcotest.(check bool) "generous deadline answers ok" true (List.mem_assoc "ok" ok);
+      (* a malformed deadline is an invalid request, not a crash *)
+      let code, message =
+        error_member (respond {|{"schema":"rb-job/1","id":2,"op":"list","deadline_ms":-5}|})
+      in
+      Alcotest.(check string) "negative deadline code" "invalid-request" code;
+      Alcotest.(check bool) "negative deadline message" true
+        (String.length message > 0);
+      let code, _ =
+        error_member
+          (respond {|{"schema":"rb-job/1","id":3,"op":"list","deadline_ms":"soon"}|})
+      in
+      Alcotest.(check string) "non-numeric deadline code" "invalid-request" code)
+
+let test_admission_gate () =
+  (match Serve.Admission.create 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cap 0 should be rejected");
+  let adm = Serve.Admission.create 2 in
+  Alcotest.(check bool) "first slot" true (Serve.Admission.try_acquire adm);
+  Alcotest.(check bool) "second slot" true (Serve.Admission.try_acquire adm);
+  Alcotest.(check bool) "third is shed" false (Serve.Admission.try_acquire adm);
+  Alcotest.(check int) "two in flight" 2 (Serve.Admission.in_flight adm);
+  Serve.Admission.release adm;
+  Alcotest.(check bool) "released slot is reusable" true
+    (Serve.Admission.try_acquire adm);
+  Serve.Admission.release adm;
+  Serve.Admission.release adm;
+  Alcotest.(check int) "all released" 0 (Serve.Admission.in_flight adm)
+
+(* Run a pipe session through [Serve.run] and hand back the response
+   lines. *)
+let serve_pipe ?drain ?batch_size ?max_line ?admission ~jobs requests =
+  let read_fd, write_fd = Unix.pipe ~cloexec:true () in
+  let payload = String.concat "" (List.map (fun r -> r ^ "\n") requests) in
+  let wrote = Unix.write_substring write_fd payload 0 (String.length payload) in
+  Alcotest.(check int) "request payload fits the pipe buffer" (String.length payload) wrote;
+  Unix.close write_fd;
+  let out_path = Filename.temp_file "rb_serve_test" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out_path)
+    (fun () ->
+      let oc = open_out out_path in
+      let stop =
+        with_executor ~jobs (fun ex ->
+            Serve.run ~executor:ex ?drain ?batch_size ?max_line ?admission
+              ~input:read_fd ~output:oc ())
+      in
+      close_out oc;
+      Unix.close read_fd;
+      let ic = open_in out_path in
+      let lines = In_channel.input_lines ic in
+      close_in ic;
+      (stop, lines))
+
+(* An oversized request line answers one invalid-request error and
+   costs bounded memory; its neighbours are unaffected. *)
+let test_serve_oversized_line () =
+  let pad = String.make 200 'x' in
+  let stop, lines =
+    serve_pipe ~jobs:1 ~max_line:64
+      [
+        {|{"schema":"rb-job/1","id":0,"op":"list"}|};
+        Printf.sprintf {|{"schema":"rb-job/1","id":1,"op":"list","pad":"%s"}|} pad;
+        {|{"schema":"rb-job/1","id":2,"op":"list"}|};
+      ]
+  in
+  Alcotest.(check bool) "stops at EOF" true (stop = Serve.Eof);
+  Alcotest.(check int) "three responses" 3 (List.length lines);
+  let fields = List.map parse_response lines in
+  Alcotest.(check bool) "first request answered ok" true
+    (List.mem_assoc "ok" (List.nth fields 0));
+  let code, message = error_member (List.nth fields 1) in
+  Alcotest.(check string) "oversized line code" "invalid-request" code;
+  Alcotest.(check bool) "oversized line message names the cap" true
+    (String.length message >= 20 && String.sub message 0 20 = "request line exceeds");
+  Alcotest.(check bool) "oversized line id is null" true
+    (field "id" (List.nth fields 1) = Json.Null);
+  Alcotest.(check bool) "next request answered ok" true
+    (List.mem_assoc "ok" (List.nth fields 2))
+
+(* Admission cap 1 against a five-line burst gathered as one batch:
+   the first line claims the slot, the other four are shed with the
+   structured overloaded error — ids still echoed. *)
+let test_serve_overload_shedding () =
+  let requests =
+    List.init 5 (fun i ->
+        Printf.sprintf {|{"schema":"rb-job/1","id":%d,"op":"list"}|} i)
+  in
+  let admission = Serve.Admission.create 1 in
+  let stop, lines = serve_pipe ~jobs:1 ~batch_size:8 ~admission requests in
+  Alcotest.(check bool) "stops at EOF" true (stop = Serve.Eof);
+  Alcotest.(check int) "every line answered" 5 (List.length lines);
+  let fields = List.map parse_response lines in
+  Alcotest.(check bool) "first line ran" true (List.mem_assoc "ok" (List.nth fields 0));
+  List.iteri
+    (fun i f ->
+      if i > 0 then begin
+        let code, _ = error_member f in
+        Alcotest.(check string) "excess line shed" "overloaded" code;
+        Alcotest.(check bool) "shed line echoes its id" true
+          (field "id" f = Json.Int i)
+      end)
+    fields;
+  Alcotest.(check int) "all slots released" 0 (Serve.Admission.in_flight admission)
+
+(* A pre-raised drain flag: already-buffered lines are still answered,
+   then the loop refuses to block for more input. *)
+let test_serve_drain_pipe () =
+  let drain = Atomic.make true in
+  let stop, lines = serve_pipe ~jobs:1 ~drain [ {|{"schema":"rb-job/1","id":0,"op":"list"}|} ] in
+  Alcotest.(check bool) "drain stop" true (stop = Serve.Drained || stop = Serve.Eof);
+  Alcotest.(check bool) "no more than one response" true (List.length lines <= 1)
+
+(* ------------------------------------------- Serve: socket concurrency *)
+
+let socket_path () =
+  let path = Filename.temp_file "rb_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let wait_for_socket path =
+  let rec go n =
+    if n = 0 then Alcotest.fail "socket never appeared"
+    else if not (Sys.file_exists path) then begin
+      Thread.delay 0.02;
+      go (n - 1)
+    end
+  in
+  go 250
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+        if Bytes.get b 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get b 0);
+          go ()
+        end
+    (* a handler killed with our request unread closes with an RST *)
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Buffer.contents buf
+  in
+  go ()
+
+let with_socket_server ?max_inflight ~jobs f =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let path = socket_path () in
+  with_executor ~jobs (fun ex ->
+      let cancel = Limits.new_cancel () in
+      let drain = Atomic.make false in
+      let stop = ref None in
+      let server =
+        Thread.create
+          (fun () ->
+            stop := Some (Serve.run_socket ~executor:ex ~cancel ~drain ?max_inflight ~path ()))
+          ()
+      in
+      wait_for_socket path;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set drain true;
+          Thread.join server)
+        (fun () -> f path);
+      !stop)
+
+(* Two clients interleave on one daemon; a third that hangs up
+   mid-request costs nobody anything; slow client A (connected, idle)
+   never blocks B. *)
+let test_serve_socket_concurrent () =
+  let stop =
+    with_socket_server ~jobs:2 (fun path ->
+        let a = connect path in
+        let b = connect path in
+        let c = connect path in
+        (* C dies mid-request: an unterminated line, then hangup *)
+        send c {|{"schema":"rb-job/1","id":99,"op":"list"}|};
+        Unix.close c;
+        (* B makes progress while A sits connected and silent *)
+        send b ({|{"schema":"rb-job/1","id":7,"op":"show","benchmark":"dct"}|} ^ "\n");
+        let rb = parse_response (recv_line b) in
+        Alcotest.(check bool) "b answered" true (field "id" rb = Json.Int 7);
+        Alcotest.(check bool) "b got an outcome" true (List.mem_assoc "ok" rb);
+        (* A wakes up late and still works *)
+        send a ({|{"schema":"rb-job/1","id":8,"op":"list"}|} ^ "\n");
+        let ra = parse_response (recv_line a) in
+        Alcotest.(check bool) "a answered after b" true (field "id" ra = Json.Int 8);
+        (* B again: the connection outlives its siblings' sessions *)
+        send b ({|{"schema":"rb-job/1","id":9,"op":"list"}|} ^ "\n");
+        let rb2 = parse_response (recv_line b) in
+        Alcotest.(check bool) "b answered again" true (field "id" rb2 = Json.Int 9);
+        Unix.close a;
+        Unix.close b)
+  in
+  Alcotest.(check bool) "SIGTERM-style drain stops the daemon" true
+    (stop = Some Serve.Drained)
+
+(* Every connection handler is killed at accept time by the
+   ["serve/conn"] fault — each client just sees its connection close,
+   and the daemon keeps accepting and drains cleanly. *)
+let test_serve_conn_fault_isolation () =
+  let stop =
+    Rb_util.Faults.with_config
+      (Some { Rb_util.Faults.seed = 7; rate_per_mille = 1000; sites = [ "serve/conn" ] })
+      (fun () ->
+        with_socket_server ~jobs:1 (fun path ->
+            let try_once () =
+              let fd = connect path in
+              send fd ({|{"schema":"rb-job/1","id":0,"op":"list"}|} ^ "\n");
+              let answer = recv_line fd in
+              Unix.close fd;
+              answer
+            in
+            Alcotest.(check string) "faulted handler closes without answering" ""
+              (try_once ());
+            Alcotest.(check string) "daemon still accepts the next connection" ""
+              (try_once ())))
+  in
+  Alcotest.(check bool) "daemon drains despite per-connection faults" true
+    (stop = Some Serve.Drained)
 
 (* ---------------------------------------------------------------- Golden *)
 
@@ -607,6 +953,8 @@ let () =
           Alcotest.test_case "failure not cached" `Quick test_store_failure_not_cached;
           Alcotest.test_case "concurrent single flight" `Quick
             test_store_concurrent_single_flight;
+          Alcotest.test_case "lru eviction" `Quick test_store_lru_eviction;
+          Alcotest.test_case "evict fault degrades" `Quick test_store_evict_fault_degrades;
         ] );
       ( "executor",
         [
@@ -614,14 +962,27 @@ let () =
           Alcotest.test_case "structured errors" `Quick test_executor_errors;
           Alcotest.test_case "jobs invariance" `Quick test_executor_jobs_invariant;
           Alcotest.test_case "cache hit rate" `Quick test_executor_batch_cache_rate;
+          Alcotest.test_case "deadline" `Quick test_executor_deadline;
         ] );
       ( "serve",
         [
           Alcotest.test_case "respond" `Quick test_serve_respond;
           Alcotest.test_case "pipe session" `Quick test_serve_run_pipe;
+          Alcotest.test_case "deadline envelope" `Quick test_serve_deadline_envelope;
+          Alcotest.test_case "admission gate" `Quick test_admission_gate;
+          Alcotest.test_case "oversized line" `Quick test_serve_oversized_line;
+          Alcotest.test_case "overload shedding" `Quick test_serve_overload_shedding;
+          Alcotest.test_case "drain" `Quick test_serve_drain_pipe;
+          Alcotest.test_case "concurrent socket clients" `Quick
+            test_serve_socket_concurrent;
+          Alcotest.test_case "connection fault isolation" `Quick
+            test_serve_conn_fault_isolation;
         ] );
       ("golden", golden_tests);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_job_roundtrip; qcheck_job_digest_stable ] );
+          [
+            qcheck_job_roundtrip; qcheck_job_digest_stable;
+            qcheck_store_eviction_single_flight;
+          ] );
     ]
