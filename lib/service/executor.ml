@@ -303,9 +303,27 @@ let run_analyze t ~limit ~scheme ~width ~strength ~seed =
         in
         match
           Store.find_or_compute t.store ~key (fun () ->
-              Store.Analysis
-                (Rb_analysis.Report.analyze ?limit
-                   ~subject:l.Rb_netlist.Lock.description l.Rb_netlist.Lock.circuit))
+              let r =
+                Rb_analysis.Report.analyze ?limit
+                  ~subject:l.Rb_netlist.Lock.description l.Rb_netlist.Lock.circuit
+              in
+              (* Report.analyze degrades in place on a volatile stop
+                 (stopped = Deadline/Cancelled) instead of raising.
+                 Raising here removes the Pending entry, so the
+                 truncated report surfaces as a structured limit error
+                 and is never cached — the artifact key doesn't encode
+                 the deadline, and a later identical request must
+                 recompute in full rather than replay the partial
+                 report. Budget stops (conflicts/propagations) are a
+                 deterministic property of the executor's fixed limit
+                 and stay cacheable. *)
+              (match r.Rb_analysis.Report.stopped with
+              | Some ((Limits.Deadline | Limits.Cancelled) as reason) ->
+                fail Error.Limit "analysis of %s stopped: %s"
+                  l.Rb_netlist.Lock.description
+                  (Limits.reason_label reason)
+              | Some _ | None -> ());
+              Store.Analysis r)
         with
         | Store.Analysis r -> r
         | _ -> assert false)

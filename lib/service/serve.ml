@@ -18,13 +18,16 @@ module Admission = struct
     if cap < 1 then invalid_arg "Serve.Admission.create: cap must be >= 1";
     { cap; inflight = Atomic.make 0 }
 
-  let try_acquire t =
-    let n = Atomic.fetch_and_add t.inflight 1 in
-    if n >= t.cap then begin
-      ignore (Atomic.fetch_and_add t.inflight (-1));
-      false
-    end
-    else true
+  (* Compare-and-set rather than fetch-and-add-then-rollback: N racing
+     acquires must not transiently overshoot the counter, or a request
+     could be shed as overloaded while in-flight slots are actually
+     free. A CAS retry only rejects when the observed count genuinely
+     reached the cap. *)
+  let rec try_acquire t =
+    let n = Atomic.get t.inflight in
+    if n >= t.cap then false
+    else if Atomic.compare_and_set t.inflight n (n + 1) then true
+    else try_acquire t
 
   let release t = ignore (Atomic.fetch_and_add t.inflight (-1))
   let in_flight t = Atomic.get t.inflight
@@ -358,24 +361,34 @@ let run_socket ~executor ?(cancel = Limits.new_cancel ()) ?(drain = Atomic.make 
      connection. *)
   let spawn conn ord =
     ignore (Atomic.fetch_and_add active 1);
-    ignore
-      (Thread.create
-         (fun () ->
-           Fun.protect
-             ~finally:(fun () -> ignore (Atomic.fetch_and_add active (-1)))
-             (fun () ->
-               (try
-                  Faults.inject ~site:"serve/conn" ~key:(string_of_int ord);
-                  let out = Unix.out_channel_of_descr conn in
-                  (try
-                     ignore
-                       (run ~executor ~cancel ~drain ?batch_size ?max_line ?admission
-                          ~input:conn ~output:out ())
-                   with Sys_error _ | Unix.Unix_error _ -> ());
-                  try flush out with Sys_error _ -> ()
-                with Faults.Injected _ -> ());
-               try Unix.close conn with Unix.Unix_error _ -> ()))
-         ())
+    let handler () =
+      Fun.protect
+        ~finally:(fun () -> ignore (Atomic.fetch_and_add active (-1)))
+        (fun () ->
+          (try
+             Faults.inject ~site:"serve/conn" ~key:(string_of_int ord);
+             let out = Unix.out_channel_of_descr conn in
+             (try
+                ignore
+                  (run ~executor ~cancel ~drain ?batch_size ?max_line ?admission
+                     ~input:conn ~output:out ())
+              with Sys_error _ | Unix.Unix_error _ -> ());
+             try flush out with Sys_error _ -> ()
+           with Faults.Injected _ -> ());
+          try Unix.close conn with Unix.Unix_error _ -> ())
+    in
+    match Thread.create handler () with
+    | (_ : Thread.t) -> ()
+    | exception _ ->
+      (* pthread_create can fail (EAGAIN) under exactly the resource
+         pressure this daemon is hardened against. Shed the connection
+         instead of letting the exception kill the accept loop: roll
+         back the active count the handler would have released, close
+         the fd it would have closed, and back off like the EMFILE
+         path so in-flight handlers get a chance to finish. *)
+      ignore (Atomic.fetch_and_add active (-1));
+      (try Unix.close conn with Unix.Unix_error _ -> ());
+      Thread.delay 0.05
   in
   let rec accept_loop () =
     if Limits.cancelled cancel then Cancelled

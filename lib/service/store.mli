@@ -56,7 +56,13 @@ val create : ?cap_bytes:int -> unit -> t
 
 val cost_of : artifact -> int
 (** The byte cost eviction accounts for one artifact: its reachable
-    words times the word size. Exposed for tests and capacity
+    words times the word size. Each artifact is priced independently,
+    so structure shared between resident artifacts is counted once
+    {e per artifact} that reaches it — [stats.bytes] (and the
+    [store/bytes] gauge) is a conservative {e upper} bound on real
+    residency, and a tight [cap_bytes] may evict earlier than true
+    memory use requires. Size [--store-cap] against this accounting,
+    not against heap profiles. Exposed for tests and capacity
     planning. *)
 
 val find_or_compute : t -> key:string -> (unit -> artifact) -> artifact

@@ -44,7 +44,8 @@ val make :
   unit ->
   t
 (** [deadline_s] is an {e absolute} time on the {!Metrics.now_s}
-    clock; compute it as [Metrics.now_s () +. budget]. Omitted fields
+    clock (monotonic, so a stepped wall clock cannot trip or extend
+    it); compute it as [Metrics.now_s () +. budget]. Omitted fields
     are unlimited. *)
 
 val conflicts : int -> t

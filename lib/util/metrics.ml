@@ -18,7 +18,12 @@ type metric = C of counter | G of gauge | T of timer
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
-let now_s () = Unix.gettimeofday ()
+(* Monotonic seconds (C stub over CLOCK_MONOTONIC): deadlines are
+   stored as absolute now_s values, so an NTP step on the wall clock
+   must not spuriously trip — or silently extend — every in-flight
+   deadline, and timer distributions must never observe a negative
+   duration. *)
+external now_s : unit -> float = "rb_metrics_monotonic_now_s"
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()

@@ -39,9 +39,13 @@ val reset : unit -> unit
     and spans to empty distributions). Registrations are kept. *)
 
 val now_s : unit -> float
-(** The clock used by {!time} and {!with_span}: wall-clock seconds
-    ([Unix.gettimeofday] — the best always-available clock without
-    extra dependencies; treat values as monotonic-intent only). *)
+(** The clock used by {!time}, {!with_span} and
+    {!Rb_util.Limits.with_deadline}: {e monotonic} seconds
+    ([CLOCK_MONOTONIC] via a C stub), so durations and absolute
+    deadlines are immune to NTP steps and wall-clock adjustments.
+    The epoch is unspecified (typically boot time) — values are only
+    meaningful as differences or as deadlines compared against later
+    [now_s] samples, never as calendar timestamps. *)
 
 (** {1 Handles}
 

@@ -1,0 +1,27 @@
+/* Monotonic clock for Rb_util.Metrics.now_s.
+ *
+ * Durations and absolute deadlines are computed as differences of
+ * now_s samples, so the clock must not jump when NTP steps the system
+ * time: CLOCK_MONOTONIC when available, with a gettimeofday fallback
+ * for platforms without it (where the old wall-clock behaviour is the
+ * best we can do). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value rb_metrics_monotonic_now_s(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -589,6 +589,38 @@ let test_executor_deadline () =
       | Ok _ -> ()
       | Error e -> Alcotest.failf "same job without deadline fails: %s" e.Error.message)
 
+(* An analysis truncated mid-run by a deadline marks itself stopped
+   in place instead of raising; the executor must convert that into a
+   limit error and keep the partial report out of the artifact cache.
+   Deadlines a few microseconds away usually expire after the
+   before-execution check but during the analysis itself, exercising
+   the in-thunk guard; whenever any run was cut short, a later
+   deadline-free run of the identical job must yield complete reports
+   (stopped = None on every scheme), not a cached partial replay. *)
+let test_analyze_truncation_not_cached () =
+  with_executor (fun ex ->
+      let job = Job.Analyze { scheme = None; width = 4; strength = 4; seed = 1789 } in
+      List.iter
+        (fun eps ->
+          match Executor.run ~deadline_s:(Metrics.now_s () +. eps) ex job with
+          | Ok _ -> () (* finished inside the deadline: cacheable *)
+          | Error e ->
+            Alcotest.(check string) "truncated analyze answers limit" "limit"
+              (Error.code_label e.Error.code))
+        [ 1e-6; 1e-5; 1e-4; 1e-3 ];
+      match Executor.run ex job with
+      | Ok (Outcome.Analyzed reports) ->
+        Alcotest.(check int) "one report per scheme" 4 (List.length reports);
+        List.iter
+          (fun (r : Rb_analysis.Report.t) ->
+            Alcotest.(check bool)
+              ("complete report for " ^ r.Rb_analysis.Report.subject)
+              true
+              (r.Rb_analysis.Report.stopped = None))
+          reports
+      | Ok _ -> Alcotest.fail "analyze answered a non-analyze outcome"
+      | Error e -> Alcotest.failf "deadline-free analyze fails: %s" e.Error.message)
+
 let test_serve_deadline_envelope () =
   with_executor (fun ex ->
       let respond s = parse_response (Serve.respond ex s) in
@@ -963,6 +995,8 @@ let () =
           Alcotest.test_case "jobs invariance" `Quick test_executor_jobs_invariant;
           Alcotest.test_case "cache hit rate" `Quick test_executor_batch_cache_rate;
           Alcotest.test_case "deadline" `Quick test_executor_deadline;
+          Alcotest.test_case "analyze truncation not cached" `Quick
+            test_analyze_truncation_not_cached;
         ] );
       ( "serve",
         [

@@ -772,7 +772,21 @@ let test_limits_deadline () =
     (Some Limits.Deadline) (Limits.interrupted past);
   let future = Limits.make ~deadline_s:(Metrics.now_s () +. 3600.0) () in
   Alcotest.(check (option reason)) "future deadline does not" None
-    (Limits.interrupted future)
+    (Limits.interrupted future);
+  (* has_deadline distinguishes volatile (clock-dependent) limits from
+     deterministic ones; with_deadline composes by min, so tightening
+     can only shrink an existing deadline, never extend it. *)
+  Alcotest.(check bool) "no deadline on none" false (Limits.has_deadline Limits.none);
+  Alcotest.(check bool) "budget alone is deadline-free" false
+    (Limits.has_deadline (Limits.conflicts 10));
+  Alcotest.(check bool) "with_deadline sets one" true
+    (Limits.has_deadline (Limits.with_deadline Limits.none 1.0));
+  let tightened = Limits.with_deadline future (Metrics.now_s () -. 1.0) in
+  Alcotest.(check (option reason)) "tightening wins over a laxer deadline"
+    (Some Limits.Deadline) (Limits.interrupted tightened);
+  let not_extended = Limits.with_deadline past 1e12 in
+  Alcotest.(check (option reason)) "a laxer deadline cannot extend"
+    (Some Limits.Deadline) (Limits.interrupted not_extended)
 
 let counter_at key snap =
   match List.assoc_opt key snap.Metrics.counters with
