@@ -1,6 +1,6 @@
 module Dfg = Rb_dfg.Dfg
 module Schedule = Rb_sched.Schedule
-module Hungarian = Rb_matching.Hungarian
+module Matcher = Rb_matching.Matcher
 module Allocation = Rb_hls.Allocation
 module Bind_engine = Rb_hls.Bind_engine
 
@@ -31,9 +31,12 @@ module Fast = struct
       cycles;
     { table; fus; cycles; n_ops = Dfg.op_count (Schedule.dfg schedule) }
 
-  (* One max-weight matching per cycle; [record] observes the chosen
-     (op, fu) pairs so callers can materialize the binding. *)
-  let run t ~locks ~record =
+  (* One max-weight matching per cycle. [solve_cycle] is either the
+     totals-only registry path (no tie canonicalization — optimal
+     totals are matcher-invariant, and this is the codesign sweep's
+     hot loop) or the canonical-assignment path for materialized
+     bindings. *)
+  let run t ~locks ~solve_cycle =
     let subset_of = Hashtbl.create 8 in
     List.iter
       (fun (fu, subset) ->
@@ -53,20 +56,27 @@ module Fast = struct
           let matrix =
             Array.map (fun op -> Array.map (fun fu -> weigh op fu) t.fus) ops
           in
-          let assignment = Hungarian.max_weight_assignment matrix in
-          Array.iteri
-            (fun row col ->
-              total := !total + int_of_float matrix.(row).(col);
-              record ops.(row) t.fus.(col))
-            assignment
+          total := !total + solve_cycle ops matrix
         end)
       t.cycles;
     !total
 
-  let best_errors t ~locks = run t ~locks ~record:(fun _ _ -> ())
+  let best_errors t ~locks =
+    run t ~locks ~solve_cycle:(fun _ matrix ->
+        int_of_float (Matcher.max_weight_total_dense matrix))
 
   let best_binding t ~locks =
     let fu_of_op = Array.make t.n_ops (-1) in
-    let errors = run t ~locks ~record:(fun op fu -> fu_of_op.(op) <- fu) in
+    let errors =
+      run t ~locks ~solve_cycle:(fun ops matrix ->
+          let assignment = Matcher.max_weight_dense matrix in
+          let sub = ref 0 in
+          Array.iteri
+            (fun row col ->
+              sub := !sub + int_of_float matrix.(row).(col);
+              fu_of_op.(ops.(row)) <- t.fus.(col))
+            assignment;
+          !sub)
+    in
     (fu_of_op, errors)
 end

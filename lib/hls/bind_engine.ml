@@ -1,11 +1,12 @@
 module Dfg = Rb_dfg.Dfg
 module Schedule = Rb_sched.Schedule
-module Hungarian = Rb_matching.Hungarian
+module Matcher = Rb_matching.Matcher
 
 type weight_fn =
   kind:Dfg.op_kind -> cycle:int -> op:Dfg.op_id -> fu:int -> float
 
-let bind ?(on_bound = fun ~op:_ ~fu:_ -> ()) ~objective ~weight schedule allocation =
+let bind ?matcher ?(on_bound = fun ~op:_ ~fu:_ -> ()) ~objective ~weight schedule
+    allocation =
   let dfg = Schedule.dfg schedule in
   let fu_of_op = Array.make (Dfg.op_count dfg) (-1) in
   let bind_cycle kind cycle =
@@ -21,10 +22,12 @@ let bind ?(on_bound = fun ~op:_ ~fu:_ -> ()) ~objective ~weight schedule allocat
           (fun op -> Array.map (fun fu -> weight ~kind ~cycle ~op ~fu) fus)
           ops
       in
+      (* Registry solve + canonical tie-break: whichever matcher is
+         selected, the binding that comes back is byte-identical. *)
       let assignment =
         match objective with
-        | `Maximize -> Hungarian.max_weight_assignment matrix
-        | `Minimize -> Hungarian.min_cost_assignment matrix
+        | `Maximize -> Matcher.max_weight_dense ?matcher matrix
+        | `Minimize -> Matcher.min_cost_dense ?matcher matrix
       in
       Array.iteri
         (fun row col ->

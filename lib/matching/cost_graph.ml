@@ -1,0 +1,125 @@
+(* Sparse cost graphs in CSR form: one row per operation, each row a
+   sorted list of (column, weight) candidate arcs. Binders emit only
+   the feasible (op, FU) pairs; dense matrices adapt losslessly via
+   [of_dense]. Construction validates eagerly — every weight finite,
+   every column in range, no duplicate arcs — so the solvers can run
+   branch-free. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  row_off : int array;  (* length rows + 1; arcs of row r live in [row_off.(r), row_off.(r+1)) *)
+  arc_col : int array;  (* ascending within each row *)
+  arc_w : float array;
+}
+
+let rows t = t.rows
+let cols t = t.cols
+let arcs t = Array.length t.arc_col
+let complete t = arcs t = t.rows * t.cols
+
+let check_weight w =
+  if not (Float.is_finite w) then
+    invalid_arg "Cost_graph: weight must be finite (no NaN/infinity)"
+
+let of_dense matrix =
+  let rows = Array.length matrix in
+  if rows = 0 then
+    { rows = 0; cols = 0; row_off = [| 0 |]; arc_col = [||]; arc_w = [||] }
+  else begin
+    let cols = Array.length matrix.(0) in
+    if cols = 0 then invalid_arg "Cost_graph: empty row";
+    Array.iter
+      (fun row ->
+        if Array.length row <> cols then invalid_arg "Cost_graph: ragged matrix";
+        Array.iter check_weight row)
+      matrix;
+    if rows > cols then invalid_arg "Cost_graph: more rows than columns";
+    let row_off = Array.init (rows + 1) (fun r -> r * cols) in
+    let arc_col = Array.init (rows * cols) (fun a -> a mod cols) in
+    let arc_w = Array.init (rows * cols) (fun a -> matrix.(a / cols).(a mod cols)) in
+    { rows; cols; row_off; arc_col; arc_w }
+  end
+
+(* [candidates.(r)] lists row [r]'s feasible (column, weight) arcs, in
+   any order. A row with no arcs is accepted here — it surfaces as
+   [Matcher.Infeasible] at solve time, like any other Hall violation. *)
+let of_rows ~cols candidates =
+  let rows = Array.length candidates in
+  if cols < 0 then invalid_arg "Cost_graph: negative column count";
+  if rows > cols then invalid_arg "Cost_graph: more rows than columns";
+  let sorted =
+    Array.map
+      (fun cands ->
+        let cands = Array.copy cands in
+        Array.iter
+          (fun (c, w) ->
+            if c < 0 || c >= cols then invalid_arg "Cost_graph: column out of range";
+            check_weight w)
+          cands;
+        Array.sort (fun (a, _) (b, _) -> Int.compare a b) cands;
+        Array.iteri
+          (fun i (c, _) ->
+            if i > 0 && fst cands.(i - 1) = c then
+              invalid_arg "Cost_graph: duplicate arc in a row")
+          cands;
+        cands)
+      candidates
+  in
+  let row_off = Array.make (rows + 1) 0 in
+  Array.iteri (fun r cands -> row_off.(r + 1) <- row_off.(r) + Array.length cands) sorted;
+  let nnz = row_off.(rows) in
+  let arc_col = Array.make nnz 0 in
+  let arc_w = Array.make nnz 0.0 in
+  Array.iteri
+    (fun r cands ->
+      Array.iteri
+        (fun i (c, w) ->
+          arc_col.(row_off.(r) + i) <- c;
+          arc_w.(row_off.(r) + i) <- w)
+        cands)
+    sorted;
+  { rows; cols; row_off; arc_col; arc_w }
+
+let iter_row t r f =
+  for a = t.row_off.(r) to t.row_off.(r + 1) - 1 do
+    f t.arc_col.(a) t.arc_w.(a)
+  done
+
+let row_degree t r = t.row_off.(r + 1) - t.row_off.(r)
+
+let negate t = { t with arc_w = Array.map (fun w -> -.w) t.arc_w }
+
+(* Weight range over all arcs; (0, 0) for an arc-free graph. *)
+let weight_range t =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (fun w ->
+      if w < !lo then lo := w;
+      if w > !hi then hi := w)
+    t.arc_w;
+  if !lo > !hi then (0.0, 0.0) else (!lo, !hi)
+
+(* Dense matrix with [fill] in the non-arc cells — the adapter for the
+   dense Hungarian reference. Callers pick [fill] large enough that no
+   optimal assignment of a feasible graph ever uses a filler cell. *)
+let to_dense ~fill t =
+  let m = Array.make_matrix t.rows t.cols fill in
+  for r = 0 to t.rows - 1 do
+    iter_row t r (fun c w -> m.(r).(c) <- w)
+  done;
+  m
+
+let assignment_weight t assign =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun r c ->
+      let found = ref false in
+      iter_row t r (fun c' w ->
+          if c' = c then begin
+            found := true;
+            total := !total +. w
+          end);
+      if not !found then invalid_arg "Cost_graph.assignment_weight: not an arc")
+    assign;
+  !total

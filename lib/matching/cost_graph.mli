@@ -1,0 +1,57 @@
+(** Sparse bipartite cost graphs in CSR form.
+
+    One row per operation; each row carries only its feasible
+    (column, weight) candidate arcs, sorted by column. Binders at
+    thousand-op scale emit a few candidates per operation instead of a
+    full n×m matrix; dense matrices adapt losslessly via {!of_dense}.
+
+    Construction validates eagerly — every weight finite, every column
+    in range, no duplicate arcs, [rows <= cols] — so solvers run
+    branch-free. A row with no arcs is accepted at construction and
+    surfaces as [Matcher.Infeasible] at solve time. *)
+
+type t
+
+val of_dense : float array array -> t
+(** Lossless adapter from a dense matrix (every cell becomes an arc).
+    The 0-row matrix [[||]] yields the empty graph. Raises
+    [Invalid_argument] on ragged/over-tall input or non-finite
+    weights. *)
+
+val of_rows : cols:int -> (int * float) array array -> t
+(** [of_rows ~cols candidates] builds a sparse graph where
+    [candidates.(r)] lists row [r]'s feasible [(column, weight)] arcs,
+    in any order. Raises [Invalid_argument] on an out-of-range column,
+    a duplicate arc within a row, a non-finite weight, or
+    [rows > cols]. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val arcs : t -> int
+(** Total number of arcs (nnz). *)
+
+val complete : t -> bool
+(** [arcs t = rows t * cols t] — every (row, column) pair is an arc, so
+    feasibility pre-checks can be skipped. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row t r f] applies [f col weight] to row [r]'s arcs in
+    ascending column order. *)
+
+val row_degree : t -> int -> int
+
+val negate : t -> t
+(** Same structure, negated weights (max-weight via min-cost). *)
+
+val weight_range : t -> float * float
+(** [(min, max)] over all arc weights; [(0., 0.)] when arc-free. *)
+
+val to_dense : fill:float -> t -> float array array
+(** Dense matrix with [fill] in non-arc cells — the adapter for the
+    dense Hungarian reference. Callers pick [fill] large enough that no
+    optimal assignment of a feasible graph ever uses a filler cell. *)
+
+val assignment_weight : t -> int array -> float
+(** Total weight of [assign] (row [r] matched to [assign.(r)]). Raises
+    [Invalid_argument] if some [(r, assign.(r))] is not an arc. *)

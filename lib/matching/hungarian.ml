@@ -17,22 +17,34 @@ let t_assignment = Metrics.timer ~scope:"matching" "assignment"
 
 let validate cost =
   let rows = Array.length cost in
-  if rows = 0 then invalid_arg "Hungarian: empty matrix";
-  let cols = Array.length cost.(0) in
-  if cols = 0 then invalid_arg "Hungarian: empty row";
-  Array.iter
-    (fun row ->
-      if Array.length row <> cols then invalid_arg "Hungarian: ragged matrix")
-    cost;
-  if rows > cols then invalid_arg "Hungarian: more rows than columns";
-  (rows, cols)
+  if rows = 0 then (0, 0)
+  else begin
+    let cols = Array.length cost.(0) in
+    if cols = 0 then invalid_arg "Hungarian: empty row";
+    Array.iter
+      (fun row ->
+        if Array.length row <> cols then invalid_arg "Hungarian: ragged matrix";
+        Array.iter
+          (fun w ->
+            if not (Float.is_finite w) then
+              invalid_arg "Hungarian: weight must be finite (no NaN/infinity)")
+          row)
+      cost;
+    if rows > cols then invalid_arg "Hungarian: more rows than columns";
+    (rows, cols)
+  end
 
-let min_cost_assignment cost =
-  let rows, cols = validate cost in
-  Metrics.incr m_assignments;
-  Metrics.time t_assignment @@ fun () ->
+(* The uninstrumented core. Requires a validated matrix with
+   [1 <= rows <= cols]. Returns [(assign, u, v, scans)] where [u], [v]
+   are 0-indexed optimal dual potentials satisfying, at termination:
+   - feasibility: [cost.(i).(j) >= u.(i) +. v.(j)] for every cell;
+   - complementary slackness: equality on every matched cell;
+   - [v.(j) <= 0.], with [v.(j) = 0.] on every unmatched column.
+   These conventions are the matcher contract ({!Matcher.solution});
+   the registry's canonicalization pass depends on them. *)
+let solve_core cost =
+  let n = Array.length cost and m = Array.length cost.(0) in
   let scans = ref 0 in
-  let n = rows and m = cols in
   let u = Array.make (n + 1) 0.0 in
   let v = Array.make (m + 1) 0.0 in
   let p = Array.make (m + 1) 0 in
@@ -80,13 +92,29 @@ let min_cost_assignment cost =
       j0 := j1
     done
   done;
-  Metrics.add m_phases n;
-  Metrics.add m_scans !scans;
   let assign = Array.make n (-1) in
   for j = 1 to m do
     if p.(j) > 0 then assign.(p.(j) - 1) <- j - 1
   done;
-  assign
+  let u0 = Array.init n (fun i -> u.(i + 1)) in
+  let v0 = Array.init m (fun j -> v.(j + 1)) in
+  (assign, u0, v0, !scans)
+
+let solve_with_duals cost =
+  let rows, cols = validate cost in
+  if rows = 0 then ([||], [||], Array.make cols 0.0, 0) else solve_core cost
+
+let min_cost_assignment cost =
+  let rows, _cols = validate cost in
+  if rows = 0 then [||]
+  else begin
+    Metrics.incr m_assignments;
+    Metrics.time t_assignment @@ fun () ->
+    let assign, _u, _v, scans = solve_core cost in
+    Metrics.add m_phases rows;
+    Metrics.add m_scans scans;
+    assign
+  end
 
 let max_weight_assignment weight =
   let negated = Array.map (Array.map (fun w -> -.w)) weight in

@@ -1,0 +1,117 @@
+(* Jonker–Volgenant-style successive shortest augmenting paths on the
+   sparse cost graph. One Dijkstra per row over reduced costs
+   [rc(i,j) = c'(i,j) - u(i) - v(j)] (nonnegative by the running dual
+   invariant), stopping at the first unmatched column popped; dual
+   updates keep matched arcs tight and [v <= 0] with [v = 0] on
+   unmatched columns, so the returned duals certify optimality under
+   the {!Matcher.solution} contract. O(rows * (arcs + arcs log arcs));
+   near-linear per row on the sparse graphs real binding cycles
+   produce.
+
+   Weights are pre-shifted by their global minimum so the initial
+   all-zero duals are feasible; the shift is folded back into the row
+   duals on exit. All arithmetic on integer-valued weights stays exact
+   (sums of integers in float). Determinism: the heap orders by
+   (distance, column) lexicographically, so tie-broken pop order —
+   hence the returned assignment and duals — is reproducible. *)
+
+let solve graph : Matcher.solution =
+  let rows = Cost_graph.rows graph and cols = Cost_graph.cols graph in
+  let lo, _hi = Cost_graph.weight_range graph in
+  let u = Array.make rows 0.0 in
+  let v = Array.make cols 0.0 in
+  let row_col = Array.make rows (-1) in
+  let col_row = Array.make cols (-1) in
+  let dist = Array.make cols infinity in
+  let finalized = Array.make cols false in
+  let final_cols = Array.make cols 0 in
+  let pred_row = Array.make cols (-1) in
+  let heap = Minheap.create () in
+  let scans = ref 0 in
+  for r0 = 0 to rows - 1 do
+    Array.fill dist 0 cols infinity;
+    Array.fill finalized 0 cols false;
+    Minheap.clear heap;
+    let n_final = ref 0 in
+    (* Seed with r0's arcs; row r0 is at implicit distance 0. *)
+    Cost_graph.iter_row graph r0 (fun j w ->
+        incr scans;
+        let d = w -. lo -. u.(r0) -. v.(j) in
+        if d < dist.(j) then begin
+          dist.(j) <- d;
+          pred_row.(j) <- r0;
+          Minheap.push heap d j
+        end);
+    let terminal = ref (-1) in
+    let d_star = ref 0.0 in
+    while !terminal < 0 && not (Minheap.is_empty heap) do
+      let d, j = Minheap.pop heap in
+      if not finalized.(j) then begin
+        finalized.(j) <- true;
+        dist.(j) <- d;
+        final_cols.(!n_final) <- j;
+        incr n_final;
+        if col_row.(j) = -1 then begin
+          terminal := j;
+          d_star := d
+        end
+        else begin
+          (* The matched arc (col_row j, j) is tight, so that row sits
+             at distance [d]; relax its other arcs. *)
+          let r = col_row.(j) in
+          Cost_graph.iter_row graph r (fun j' w ->
+              if not finalized.(j') then begin
+                incr scans;
+                let nd = d +. (w -. lo -. u.(r) -. v.(j')) in
+                if nd < dist.(j') then begin
+                  dist.(j') <- nd;
+                  pred_row.(j') <- r;
+                  Minheap.push heap nd j'
+                end
+              end)
+        end
+      end
+    done;
+    if !terminal < 0 then
+      (* Unreachable for graphs that pass the registry's Kuhn
+         pre-check; defensive for direct callers. *)
+      raise
+        (Matcher.Infeasible
+           (Printf.sprintf "jv: row %d cannot reach an unmatched column" r0));
+    (* Dual update keeps finalized matched arcs tight and only ever
+       decreases v (finalized columns have dist <= d_star); the
+       terminal column's v is untouched (dist = d_star), so unmatched
+       columns stay at 0. *)
+    for k = 0 to !n_final - 1 do
+      let j = final_cols.(k) in
+      let delta = dist.(j) -. !d_star in
+      v.(j) <- v.(j) +. delta;
+      match col_row.(j) with
+      | -1 -> ()
+      | r -> u.(r) <- u.(r) -. delta
+    done;
+    u.(r0) <- u.(r0) +. !d_star;
+    (* Augment along the predecessor chain ending at [terminal]. *)
+    let j = ref !terminal in
+    let continue = ref true in
+    while !continue do
+      let r = pred_row.(!j) in
+      let j_prev = row_col.(r) in
+      row_col.(r) <- !j;
+      col_row.(!j) <- r;
+      if r = r0 then continue := false else j := j_prev
+    done
+  done;
+  (* Fold the global shift back into the row duals: with original
+     weights w = w' + lo, feasibility and tightness transfer to
+     (u + lo, v). *)
+  let row_duals = Array.map (fun ui -> ui +. lo) u in
+  { assignment = row_col; row_duals; col_duals = v; phases = rows; scans = !scans }
+
+let name = "jv"
+
+let description =
+  "Jonker-Volgenant sparse successive shortest augmenting paths (Dijkstra with \
+   potentials); exact, near-linear per row on sparse graphs"
+
+let phase_metric = "augmenting_phases"

@@ -1,0 +1,6 @@
+(** Registers the sparse matchers ("auction", "jv") into the
+    {!Matcher} registry, alongside the always-present "hungarian"
+    reference. Idempotent; call from entry points before parsing a
+    [--matcher] flag. *)
+
+val ensure_registered : unit -> unit

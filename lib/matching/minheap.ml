@@ -1,0 +1,62 @@
+(* Binary min-heap on (float key, int payload) pairs, ordered
+   lexicographically — equal keys resolve to the smallest payload, the
+   tie rule both sparse matchers use to keep their scan order (and so
+   their counters and results) deterministic. Flat growable arrays, no
+   allocation per operation; callers use lazy deletion (skip stale
+   entries when popped). *)
+
+type t = { mutable key : float array; mutable pay : int array; mutable size : int }
+
+let create () = { key = Array.make 64 0.0; pay = Array.make 64 0; size = 0 }
+let clear h = h.size <- 0
+let is_empty h = h.size = 0
+
+let less h a b =
+  h.key.(a) < h.key.(b) || (h.key.(a) = h.key.(b) && h.pay.(a) < h.pay.(b))
+
+let swap h a b =
+  let k = h.key.(a) and p = h.pay.(a) in
+  h.key.(a) <- h.key.(b);
+  h.pay.(a) <- h.pay.(b);
+  h.key.(b) <- k;
+  h.pay.(b) <- p
+
+let push h key pay =
+  if h.size = Array.length h.key then begin
+    let key' = Array.make (2 * h.size) 0.0 and pay' = Array.make (2 * h.size) 0 in
+    Array.blit h.key 0 key' 0 h.size;
+    Array.blit h.pay 0 pay' 0 h.size;
+    h.key <- key';
+    h.pay <- pay'
+  end;
+  h.key.(h.size) <- key;
+  h.pay.(h.size) <- pay;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  while !i > 0 && less h !i ((!i - 1) / 2) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+(* Pop the minimum; undefined on an empty heap (callers check). *)
+let pop h =
+  let key = h.key.(0) and pay = h.pay.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.key.(0) <- h.key.(h.size);
+    h.pay.(0) <- h.pay.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let best = ref !i in
+      if l < h.size && less h l !best then best := l;
+      if r < h.size && less h r !best then best := r;
+      if !best = !i then continue := false
+      else begin
+        swap h !i !best;
+        i := !best
+      end
+    done
+  end;
+  (key, pay)

@@ -133,22 +133,42 @@ let decisive = function Solver.Sat | Solver.Unsat -> true | Solver.Unknown _ -> 
    timing-dependent points and would perturb its search, breaking the
    deterministic DIP sequence.
 
+   Budgeted rounds ({!Limits.has_budget}) tighten the contract: a
+   conflict/propagation budget promises the {e same} partial result at
+   every [--portfolio], but a helper can prove Unsat in wall-time the
+   budget denies member 0 — reporting that Unsat would make the
+   attack's outcome depend on the racers. So under a work budget
+   member 0 runs with {e no} cancel flag at all (its stop point is a
+   pure function of the constraint set, exactly as at
+   [portfolio = 1]), a member-0 budget stop also stops the helpers,
+   and the join discards helper Unsats whenever member 0 was
+   budget-stopped. Helpers still race real Unsat proofs for member-0
+   rounds that decide within budget, and clause sharing is unaffected
+   (member 0 never imports).
+
    Returns the round result plus the index of the member whose
    model/proof to use: member 0 for Sat, the lowest Unsat prover for
    Unsat (the extracted key is canonical, so the choice is
    unobservable). *)
+let budget_stop = function
+  | Solver.Unknown (Limits.Conflicts | Limits.Propagations) -> true
+  | _ -> false
+
 let solve_round m =
   let members = m.members in
   let n = Array.length members in
   if n = 1 then
     (Solver.solve ~assumptions:[ members.(0).act ] ~limit:m.limit members.(0).solver, 0)
   else begin
+    let budgeted = Limits.has_budget m.limit in
     let unsat_found = Limits.new_cancel () in
     let helpers_stop = Limits.new_cancel () in
     let solve_member i =
       let mem = members.(i) in
       let limit =
-        Limits.with_cancel m.limit (if i = 0 then unsat_found else helpers_stop)
+        if i > 0 then Limits.with_cancel m.limit helpers_stop
+        else if budgeted then m.limit
+        else Limits.with_cancel m.limit unsat_found
       in
       Solver.set_learnt_hook mem.solver
         (Some
@@ -162,7 +182,7 @@ let solve_round m =
       | Solver.Unsat ->
         Limits.cancel unsat_found;
         Limits.cancel helpers_stop
-      | _ -> if i = 0 && decisive r then Limits.cancel helpers_stop);
+      | _ -> if i = 0 && (decisive r || budget_stop r) then Limits.cancel helpers_stop);
       r
     in
     let results =
@@ -174,7 +194,7 @@ let solve_round m =
            0 could not decide the round within its budget. *)
         let out = Array.make n (Solver.Unknown Limits.Cancelled) in
         out.(0) <- solve_member 0;
-        if not (decisive out.(0)) then
+        if not (decisive out.(0) || budget_stop out.(0)) then
           for i = 1 to n - 1 do
             if not (Limits.cancelled helpers_stop) then out.(i) <- solve_member i
           done;
@@ -191,11 +211,18 @@ let solve_round m =
             end)
           members)
       (Pool.Share_buffer.drain m.share);
-    let unsat = ref (-1) in
-    Array.iteri
-      (fun i r -> if !unsat < 0 && r = Solver.Unsat then unsat := i)
-      results;
-    if !unsat >= 0 then (Solver.Unsat, !unsat) else (results.(0), 0)
+    if budgeted && budget_stop results.(0) then
+      (* The deterministic member ran out of budget: report exactly
+         what [portfolio = 1] would, even if a helper won an Unsat
+         race in the meantime. *)
+      (results.(0), 0)
+    else begin
+      let unsat = ref (-1) in
+      Array.iteri
+        (fun i r -> if !unsat < 0 && r = Solver.Unsat then unsat := i)
+        results;
+      if !unsat >= 0 then (Solver.Unsat, !unsat) else (results.(0), 0)
+    end
   end
 
 (* Lex-min canonicalization: the lexicographically smallest assignment

@@ -35,6 +35,7 @@ let with_deadline t deadline_s =
   { t with deadline_s = Some deadline_s }
 
 let has_deadline t = t.deadline_s <> None
+let has_budget t = t.max_conflicts <> None || t.max_propagations <> None
 
 let exceeds budget used =
   match budget with Some b -> used >= b | None -> false

@@ -83,6 +83,13 @@ val has_deadline : t -> bool
     deadline-bearing limit (whose results must not be cached — they
     depend on the clock) from a purely deterministic one. *)
 
+val has_budget : t -> bool
+(** [true] iff a deterministic work budget (conflicts or propagations)
+    is set. Budgeted runs must report the {e same} partial result at
+    every parallelism level, so racing layers (the SAT portfolio) use
+    this to route budget stops through the deterministic member rather
+    than whichever racer finishes first. *)
+
 val check : t -> conflicts:int -> propagations:int -> reason option
 (** Poll every limit against the caller's {e per-call} work deltas.
     Checks in a fixed order — [Conflicts], [Propagations], [Cancelled],

@@ -21,6 +21,13 @@ val names : unit -> string list
 val find : string -> t
 (** Raises [Not_found] for unknown names. *)
 
+val parametric : string -> n:int -> t
+(** A size-parameterized benchmark outside the fixed registry:
+    families ["fft"], ["dct"], ["conv"], ["aes"] map to the
+    {!Kernels} generators of the same name at size [n] (named e.g.
+    ["fft256"]). Raises [Invalid_argument] on an unknown family or an
+    out-of-range size. *)
+
 val default_trace_length : int
 (** Samples per synthesized trace (256). *)
 
@@ -29,6 +36,8 @@ val trace : ?seed:int -> ?length:int -> t -> Rb_sim.Trace.t
     default length {!default_trace_length}; the same (seed, length)
     always produces the same trace. *)
 
-val schedule : t -> Rb_sched.Schedule.t
-(** Path-based schedule on the paper's resource budget (up to 3 FUs of
-    each kind). *)
+val schedule : ?limits:Rb_sched.Scheduler.limits -> t -> Rb_sched.Schedule.t
+(** Path-based schedule; [limits] defaults to the paper's resource
+    budget (up to 3 FUs of each kind). Thousand-op parametric kernels
+    pass wider limits to keep latency (and per-cycle matching size)
+    realistic. *)

@@ -217,6 +217,124 @@ let motion3 () =
   B.output b sad;
   B.finish b
 
+(* ---- Parameterized kernels ----------------------------------------
+
+   Size-parameterized generalizations of the fixed 8-point kernels,
+   for the thousand-operation scaling experiments (10^3..10^4 ops).
+   Multiplier constants are deterministic 8-bit surrogates on the same
+   footing as the fixed kernels' 90/70/46-style coefficients: the
+   binding layers only see operation kinds and dependency shape, so
+   pseudo-twiddles drawn from a fixed integer recurrence keep the
+   generators exactly reproducible without floating-point rounding. *)
+
+(* 8-bit surrogate coefficient in 1..125, never 0 (a zero weight would
+   make the multiplication degenerate). *)
+let coeff a b = (((a * 73) + (b * 29)) mod 125) + 1
+
+let require_pow2 fn n =
+  if n < 8 || n land (n - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Kernels.%s: n must be a power of two >= 8" fn)
+
+let fft_n ~n =
+  require_pow2 "fft_n" n;
+  let b = B.create (Printf.sprintf "fft%d" n) in
+  let data = inputs b "re" n in
+  let stage = ref 0 in
+  let half = ref 1 in
+  (* Radix-2 decimation-in-time: log2 n stages of n/2 butterflies,
+     each a twiddle product plus a sum/difference pair. *)
+  while !half < n do
+    let step = !half * 2 in
+    let base = ref 0 in
+    while !base < n do
+      for k = 0 to !half - 1 do
+        let i = !base + k and j = !base + k + !half in
+        let tw = B.const (coeff (k + 1) !stage) in
+        let bw = B.mul ~label:(Printf.sprintf "w%d_%d" !stage i) b data.(j) tw in
+        let t = B.add ~label:(Printf.sprintf "t%d_%d" !stage i) b data.(i) bw in
+        let u = sub ~label:(Printf.sprintf "u%d_%d" !stage i) b data.(i) bw in
+        data.(i) <- t;
+        data.(j) <- u
+      done;
+      base := !base + step
+    done;
+    half := step;
+    incr stage
+  done;
+  Array.iter (B.output b) data;
+  B.finish b
+
+let dct_n ~n =
+  require_pow2 "dct_n" n;
+  let b = B.create (Printf.sprintf "dct%d" n) in
+  let x = inputs b "x" n in
+  let h = n / 2 in
+  (* Even/odd decomposition (the fixed dct's stage 1 at size n), then
+     dense cosine-surrogate products on each half. *)
+  let s = Array.init h (fun i -> B.add ~label:(Printf.sprintf "s%d" i) b x.(i) x.(n - 1 - i)) in
+  let d = Array.init h (fun i -> sub ~label:(Printf.sprintf "d%d" i) b x.(i) x.(n - 1 - i)) in
+  let dot name half_arr k =
+    let acc = ref (B.mul b half_arr.(0) (B.const (coeff k 0))) in
+    for i = 1 to h - 1 do
+      let p = B.mul b half_arr.(i) (B.const (coeff k i)) in
+      let label = if i = h - 1 then Some (Printf.sprintf "%s%d" name k) else None in
+      acc := B.add ?label b !acc p
+    done;
+    !acc
+  in
+  for k = 0 to h - 1 do
+    B.output b (dot "ye" s k);
+    B.output b (dot "yo" d k)
+  done;
+  B.finish b
+
+let conv_n ~taps ~points =
+  if taps < 2 || points < 1 then
+    invalid_arg "Kernels.conv_n: taps must be >= 2 and points >= 1";
+  let b = B.create (Printf.sprintf "conv%dx%d" taps points) in
+  let x = inputs b "x" (points + taps - 1) in
+  (* Sliding-window stencil: each output point is an independent
+     taps-wide dot product over the shared input window. *)
+  for p = 0 to points - 1 do
+    let acc = ref (B.mul b x.(p) (B.const (coeff 1 0))) in
+    for t = 1 to taps - 1 do
+      let prod = B.mul b x.(p + t) (B.const (coeff (t + 1) 0)) in
+      let label = if t = taps - 1 then Some (Printf.sprintf "y%d" p) else None in
+      acc := B.add ?label b !acc prod
+    done;
+    B.output b !acc
+  done;
+  B.finish b
+
+let aes_round_n ~blocks =
+  if blocks < 1 then invalid_arg "Kernels.aes_round_n: blocks must be >= 1";
+  let b = B.create (Printf.sprintf "aes_round%d" blocks) in
+  let round_key = Array.init 16 (fun i -> coeff (i + 3) 7) in
+  for blk = 0 to blocks - 1 do
+    let st = inputs b (Printf.sprintf "p%d_" blk) 16 in
+    (* AddRoundKey, then the affine SubBytes surrogate (x*31 + 99 —
+       the real S-box's affine layer with the inversion dropped). *)
+    let ark = Array.mapi (fun i s -> B.add b s (B.const round_key.(i))) st in
+    let sb = Array.map (fun s -> B.add b (B.mul b s (B.const 31)) (B.const 99)) ark in
+    (* ShiftRows is pure wiring: row r rotates left by r. *)
+    let sr = Array.init 16 (fun i ->
+        let r = i mod 4 and c = i / 4 in
+        sb.((r + (4 * ((c + r) mod 4))))) in
+    (* MixColumns: out_i = 2*a_i + 3*a_{i+1} + a_{i+2} + a_{i+3}. *)
+    for c = 0 to 3 do
+      let a = Array.init 4 (fun r -> sr.((4 * c) + r)) in
+      for r = 0 to 3 do
+        let x2 = B.mul b a.(r) (B.const 2) in
+        let x3 = B.mul b a.((r + 1) mod 4) (B.const 3) in
+        let s1 = B.add b x2 x3 in
+        let s2 = B.add b s1 a.((r + 2) mod 4) in
+        let out = B.add ~label:(Printf.sprintf "mc%d_%d" blk ((4 * c) + r)) b s2 a.((r + 3) mod 4) in
+        B.output b out
+      done
+    done
+  done;
+  B.finish b
+
 let noisest2 () =
   let b = B.create "noisest2" in
   let x = inputs b "x" 4 in

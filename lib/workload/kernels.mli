@@ -43,3 +43,32 @@ val motion3 : unit -> Rb_dfg.Dfg.t
 
 val noisest2 : unit -> Rb_dfg.Dfg.t
 (** Noise-variance estimation: squared differences (gsm/rasta). *)
+
+(** {1 Parameterized kernels}
+
+    Size-parameterized generalizations of the fixed kernels for the
+    thousand-operation scaling experiments. Multiplier constants are
+    deterministic 8-bit surrogates (the binding layers only see
+    operation kinds and dependency shape), so each generator is a pure
+    function of its parameters. All raise [Invalid_argument] on
+    out-of-range sizes. *)
+
+val fft_n : n:int -> Rb_dfg.Dfg.t
+(** Radix-2 decimation-in-time FFT over [n] points ([n] a power of two
+    >= 8): [log2 n] stages of [n/2] butterflies, ~[2 n log2 n]
+    operations ([n = 256] gives 4096). *)
+
+val dct_n : n:int -> Rb_dfg.Dfg.t
+(** [n]-point DCT ([n] a power of two >= 8): even/odd butterfly
+    decomposition, then dense cosine-surrogate dot products on each
+    half — ~[n^2] operations ([n = 32] gives ~1.5k). *)
+
+val conv_n : taps:int -> points:int -> Rb_dfg.Dfg.t
+(** Sliding-window 1-D convolution/stencil: [points] independent
+    [taps]-wide dot products over a shared input window, ~[2 taps
+    points] operations. [taps >= 2], [points >= 1]. *)
+
+val aes_round_n : blocks:int -> Rb_dfg.Dfg.t
+(** One AES-style round (AddRoundKey, affine SubBytes surrogate,
+    ShiftRows wiring, MixColumns) over [blocks] 16-byte blocks, 128
+    operations per block ([blocks = 16] gives 2048). *)

@@ -1,4 +1,8 @@
 module Hungarian = Rb_matching.Hungarian
+module Cost_graph = Rb_matching.Cost_graph
+module Matcher = Rb_matching.Matcher
+
+let () = Rb_matching.Matchers.ensure_registered ()
 
 let check_assignment name matrix expected_cols =
   let assign = Hungarian.min_cost_assignment matrix in
@@ -59,22 +63,101 @@ let test_large_random_consistency () =
     (Hungarian.assignment_weight m a1)
     (-. Hungarian.assignment_weight neg a2)
 
+let test_empty_is_empty () =
+  (* The 0-row matrix is a legal (empty) assignment problem: binders
+     meet it on cycles with no operations of a kind. *)
+  Alcotest.(check (array int)) "hungarian min" [||] (Hungarian.min_cost_assignment [||]);
+  Alcotest.(check (array int)) "hungarian max" [||] (Hungarian.max_weight_assignment [||]);
+  Alcotest.(check (array int)) "registry dense" [||] (Matcher.min_cost_dense [||]);
+  List.iter
+    (fun m ->
+      Alcotest.(check (array int)) (m ^ " empty graph") [||]
+        (Matcher.min_cost_assignment ~matcher:m (Cost_graph.of_rows ~cols:0 [||])))
+    (Matcher.names ())
+
 let test_validation_errors () =
   let invalid name m =
     match Hungarian.min_cost_assignment m with
     | exception Invalid_argument _ -> ()
     | _ -> Alcotest.failf "%s: expected Invalid_argument" name
   in
-  invalid "empty" [||];
   invalid "empty row" [| [||] |];
   invalid "ragged" [| [| 1.0; 2.0 |]; [| 1.0 |] |];
-  invalid "too tall" [| [| 1.0 |]; [| 2.0 |] |]
+  invalid "too tall" [| [| 1.0 |]; [| 2.0 |] |];
+  invalid "nan weight" [| [| 1.0; nan |] |];
+  invalid "inf weight" [| [| infinity; 2.0 |] |];
+  invalid "neg inf weight" [| [| 1.0; neg_infinity |] |];
+  (match Hungarian.max_weight_assignment [| [| nan; 1.0 |] |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "max nan: expected Invalid_argument");
+  (match Cost_graph.of_rows ~cols:3 [| [| (0, nan) |] |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "sparse nan: expected Invalid_argument");
+  (match Cost_graph.of_rows ~cols:2 [| [| (2, 1.0) |] |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "col out of range: expected Invalid_argument");
+  (match Cost_graph.of_rows ~cols:2 [| [| (0, 1.0); (0, 2.0) |] |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "duplicate arc: expected Invalid_argument")
 
-(* Exhaustive optimum via permutation enumeration, for cross-checking. *)
+(* {1 Registry} *)
+
+let test_registry_names () =
+  let names = Matcher.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "auction"; "hungarian"; "jv" ];
+  Alcotest.(check (list string)) "sorted" (List.sort String.compare names) names;
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " described") true (Matcher.describe n <> ""))
+    names;
+  (match Matcher.describe "no-such-matcher" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "describe unknown: expected Invalid_argument")
+
+let test_registry_use_default () =
+  let before = Matcher.default () in
+  Alcotest.(check string) "hungarian at startup" "hungarian" before;
+  Fun.protect
+    ~finally:(fun () -> Matcher.use before)
+    (fun () ->
+      Matcher.use "auction";
+      Alcotest.(check string) "use sticks" "auction" (Matcher.default ());
+      match Matcher.use "no-such-matcher" with
+      | exception Invalid_argument _ ->
+        Alcotest.(check string) "failed use leaves default" "auction" (Matcher.default ())
+      | () -> Alcotest.fail "use unknown: expected Invalid_argument")
+
+let test_infeasible () =
+  (* Row 1 has no arcs: Hall violation, reported before any algorithm
+     runs, under the same exception for every matcher. *)
+  let g = Cost_graph.of_rows ~cols:3 [| [| (0, 1.0) |]; [||] |] in
+  List.iter
+    (fun m ->
+      match Matcher.min_cost_assignment ~matcher:m g with
+      | exception Matcher.Infeasible _ -> ()
+      | _ -> Alcotest.failf "%s: expected Infeasible" m)
+    (Matcher.names ());
+  (* Two rows forced onto the same single column. *)
+  let pinch = Cost_graph.of_rows ~cols:3 [| [| (1, 1.0) |]; [| (1, 2.0) |] |] in
+  List.iter
+    (fun m ->
+      match Matcher.min_cost_total ~matcher:m pinch with
+      | exception Matcher.Infeasible _ -> ()
+      | _ -> Alcotest.failf "%s pinch: expected Infeasible" m)
+    (Matcher.names ())
+
+(* {1 Differential properties}
+
+   The registry's correctness story: every registered matcher produces
+   the same optimal total as the dense Hungarian reference, and after
+   canonicalization the same byte-identical assignment. *)
+
 let brute_force_min matrix =
-  let rows = Array.length matrix and cols = Array.length matrix.(0) in
+  let rows = Array.length matrix and cols = if matrix = [||] then 0 else Array.length matrix.(0) in
   let best = ref infinity in
-  let used = Array.make cols false in
+  let used = Array.make (max cols 1) false in
   let rec go row acc =
     if row = rows then (if acc < !best then best := acc)
     else
@@ -95,6 +178,54 @@ let matrix_gen =
         let rows = min rows cols in
         array_size (return rows)
           (array_size (return cols) (map float_of_int (int_range 0 50)))))
+
+(* Small weight alphabet: optima are massively tied, exercising the
+   canonical tie-break rather than the optimizer. *)
+let tied_matrix_gen =
+  QCheck2.Gen.(
+    bind (pair (int_range 1 5) (int_range 1 7)) (fun (rows, cols) ->
+        let rows = min rows cols in
+        array_size (return rows)
+          (array_size (return cols) (map float_of_int (int_range 0 2)))))
+
+(* Feasible sparse graphs: row r always carries its identity arc
+   (column r), plus a random bundle of extras, with signed weights. *)
+let sparse_graph_gen =
+  QCheck2.Gen.(
+    bind (pair (int_range 1 10) (int_range 0 6)) (fun (rows, extra_cols) ->
+        let cols = rows + extra_cols in
+        let arc_weight = map float_of_int (int_range (-30) 30) in
+        let row r =
+          bind (list_size (int_range 0 4) (pair (int_range 0 (cols - 1)) arc_weight))
+            (fun extras ->
+              bind arc_weight (fun w0 ->
+                  let tbl = Hashtbl.create 8 in
+                  Hashtbl.replace tbl r w0;
+                  List.iter
+                    (fun (c, w) -> if not (Hashtbl.mem tbl c) then Hashtbl.add tbl c w)
+                    extras;
+                  let arcs = Hashtbl.fold (fun c w acc -> (c, w) :: acc) tbl [] in
+                  return
+                    (Array.of_list
+                       (List.sort (fun (a, _) (b, _) -> Int.compare a b) arcs))))
+        in
+        map
+          (fun rows_arcs -> Cost_graph.of_rows ~cols (Array.of_list rows_arcs))
+          (flatten_l (List.init rows row))))
+
+let same_assignment a b = a = (b : int array)
+
+let check_all_matchers_agree g =
+  let reference = Matcher.min_cost_assignment ~matcher:"hungarian" g in
+  let ref_total = Cost_graph.assignment_weight g reference in
+  List.for_all
+    (fun m ->
+      let a = Matcher.min_cost_assignment ~matcher:m g in
+      let total = Matcher.min_cost_total ~matcher:m g in
+      same_assignment reference a
+      && abs_float (Cost_graph.assignment_weight g a -. ref_total) < 1e-6
+      && abs_float (total -. ref_total) < 1e-6)
+    (Matcher.names ())
 
 let qcheck_optimal_vs_brute_force =
   QCheck2.Test.make ~name:"Hungarian matches brute force" ~count:300 matrix_gen
@@ -122,6 +253,67 @@ let qcheck_max_min_duality =
         (Hungarian.assignment_weight m min_a +. Hungarian.assignment_weight neg max_a)
       < 1e-6)
 
+let qcheck_dense_differential =
+  QCheck2.Test.make ~name:"all matchers agree on dense instances" ~count:300
+    matrix_gen
+    (fun m ->
+      let g = Cost_graph.of_dense m in
+      check_all_matchers_agree g
+      && abs_float (Matcher.min_cost_total g -. brute_force_min m) < 1e-6)
+
+let qcheck_tied_differential =
+  QCheck2.Test.make ~name:"canonical assignment identical under heavy ties"
+    ~count:300 tied_matrix_gen
+    (fun m -> check_all_matchers_agree (Cost_graph.of_dense m))
+
+let qcheck_sparse_differential =
+  QCheck2.Test.make ~name:"all matchers agree on sparse instances" ~count:300
+    sparse_graph_gen check_all_matchers_agree
+
+let qcheck_dense_max_weight =
+  QCheck2.Test.make ~name:"max-weight dense entry points agree" ~count:200
+    matrix_gen
+    (fun m ->
+      let reference = Matcher.max_weight_dense ~matcher:"hungarian" m in
+      List.for_all
+        (fun name ->
+          same_assignment reference (Matcher.max_weight_dense ~matcher:name m)
+          && abs_float
+               (Matcher.max_weight_total_dense ~matcher:name m
+               -. Hungarian.assignment_weight m reference)
+             < 1e-6)
+        (Matcher.names ()))
+
+(* Dual-feasibility contract from matcher.mli: w(i,j) >= u(i) + v(j) on
+   every arc, equality on matched arcs, v(j) <= 0 with equality on
+   unmatched columns. Certifies optimality without a reference solve. *)
+let duals_certify name g =
+  let s = Matcher.solve ~matcher:name g in
+  let tol = 1e-6 in
+  let ok = ref (Array.length s.Matcher.assignment = Cost_graph.rows g) in
+  let matched_col = Array.make (Cost_graph.cols g) false in
+  Array.iteri
+    (fun r c ->
+      matched_col.(c) <- true;
+      let tight = ref false in
+      Cost_graph.iter_row g r (fun j w ->
+          if w < s.Matcher.row_duals.(r) +. s.Matcher.col_duals.(j) -. tol then ok := false;
+          if j = c && abs_float (w -. (s.Matcher.row_duals.(r) +. s.Matcher.col_duals.(j))) <= tol
+          then tight := true);
+      if not !tight then ok := false)
+    s.Matcher.assignment;
+  Array.iteri
+    (fun j v ->
+      if v > tol then ok := false;
+      if (not matched_col.(j)) && abs_float v > tol then ok := false)
+    s.Matcher.col_duals;
+  !ok
+
+let qcheck_dual_contract =
+  QCheck2.Test.make ~name:"optimal duals certify every matcher" ~count:200
+    sparse_graph_gen
+    (fun g -> List.for_all (fun m -> duals_certify m g) (Matcher.names ()))
+
 let () =
   Alcotest.run "rb_matching"
     [
@@ -136,9 +328,25 @@ let () =
           Alcotest.test_case "single cell" `Quick test_single_cell;
           Alcotest.test_case "all equal" `Quick test_all_equal_weights;
           Alcotest.test_case "40x40 duality" `Quick test_large_random_consistency;
+          Alcotest.test_case "empty" `Quick test_empty_is_empty;
           Alcotest.test_case "validation" `Quick test_validation_errors;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "names and describe" `Quick test_registry_names;
+          Alcotest.test_case "use and default" `Quick test_registry_use_default;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_optimal_vs_brute_force; qcheck_assignment_valid; qcheck_max_min_duality ] );
+          [
+            qcheck_optimal_vs_brute_force;
+            qcheck_assignment_valid;
+            qcheck_max_min_duality;
+            qcheck_dense_differential;
+            qcheck_tied_differential;
+            qcheck_sparse_differential;
+            qcheck_dense_max_weight;
+            qcheck_dual_contract;
+          ] );
     ]

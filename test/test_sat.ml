@@ -754,10 +754,10 @@ let test_approximate_attack_solver_limit () =
 (* The deterministic-result contract: one attack observed (DIP sequence
    via on_dip + final outcome) at several parallelism settings must be
    indistinguishable. *)
-let observe_attack ?pool ?portfolio locked =
+let observe_attack ?pool ?portfolio ?limit locked =
   let dips = ref [] in
   let outcome =
-    Attack.attack_locked ?pool ?portfolio
+    Attack.attack_locked ?pool ?portfolio ?limit
       ~on_dip:(fun d -> dips := Array.to_list d :: !dips)
       locked
   in
@@ -831,6 +831,41 @@ let test_attack_budgeted_portfolio_degrades () =
         Alcotest.(check bool) "key correct" true (Attack.key_is_correct locked key)
       | Attack.Budget_exceeded _ | Attack.Solver_limit _ ->
         Alcotest.fail "generous budget should not interfere")
+
+let test_attack_budgeted_portfolio_deterministic () =
+  (* The stop point of a work-budgeted attack must be a pure function
+     of the constraint set, never of helper racing: under a conflict
+     budget the budget-tracking solve runs on member 0 alone, so the
+     outcome (including which Solver_limit round trips and the DIP
+     prefix completed) is byte-identical at every portfolio size, pool
+     or no pool. *)
+  Faults.with_config None @@ fun () ->
+  let base = Circuits.adder ~width:3 in
+  let locked = Lock.point_function ~minterms:[ 12; 19 ] base in
+  let limited = ref 0 and finished = ref 0 in
+  Rb_util.Pool.with_pool ~jobs:3 (fun pool ->
+      List.iter
+        (fun budget ->
+          let limit = Limits.conflicts budget in
+          let reference = observe_attack ~limit locked in
+          (match fst reference with
+          | Attack.Solver_limit _ -> incr limited
+          | Attack.Broken _ -> incr finished
+          | Attack.Budget_exceeded _ -> ());
+          List.iteri
+            (fun j observed ->
+              Alcotest.(check bool)
+                (Printf.sprintf "budget %d variant %d matches portfolio 1" budget j)
+                true (observed = reference))
+            [
+              observe_attack ~portfolio:3 ~pool ~limit locked;
+              observe_attack ~portfolio:3 ~limit locked;
+              observe_attack ~portfolio:5 ~pool ~limit locked;
+            ])
+        [ 1; 2; 5; 10; 20; 50; 100; 1_000; 100_000 ]);
+  (* The sweep must exercise both regimes or it proves nothing. *)
+  Alcotest.(check bool) "some budget trips mid-attack" true (!limited > 0);
+  Alcotest.(check bool) "some budget completes" true (!finished > 0)
 
 let test_constrain_observation_semantics () =
   (* constrain_observation must mean exactly circuit(dip, key) = outputs:
@@ -955,6 +990,8 @@ let () =
             test_attack_portfolio_rejects_bad_size;
           Alcotest.test_case "budgeted portfolio degrades gracefully" `Quick
             test_attack_budgeted_portfolio_degrades;
+          Alcotest.test_case "budgeted portfolio deterministic" `Quick
+            test_attack_budgeted_portfolio_deterministic;
           Alcotest.test_case "observation constraint semantics" `Quick
             test_constrain_observation_semantics;
         ] );

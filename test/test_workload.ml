@@ -133,6 +133,95 @@ let test_trace_length_override () =
   let b = Benchmark.find "fir" in
   Alcotest.(check int) "custom length" 32 (Trace.length (Benchmark.trace ~length:32 b))
 
+(* {1 Parameterized thousand-op kernels} *)
+
+module Kernels = Rb_workload.Kernels
+
+let test_parametric_sizes () =
+  (* Op counts must land in the paper-motivated 10^3..10^4 band (the
+     scale where sparse matching pays off) and follow the generators'
+     documented formulas. *)
+  let cases =
+    [
+      ("fft256", Kernels.fft_n ~n:256, 4096);
+      ("fft512", Kernels.fft_n ~n:512, 9216);
+      ("dct64", Kernels.dct_n ~n:64, 4128);
+      ("conv64", Kernels.conv_n ~taps:16 ~points:64, 1984);
+      ("aes16", Kernels.aes_round_n ~blocks:16, 2048);
+    ]
+  in
+  List.iter
+    (fun (name, dfg, expect) ->
+      Alcotest.(check int) (name ^ " op count") expect (Dfg.op_count dfg);
+      Alcotest.(check bool) (name ^ " in band") true (expect >= 1000 && expect <= 10000))
+    cases
+
+let test_parametric_validate () =
+  List.iter
+    (fun (name, dfg) ->
+      match Dfg.validate dfg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" name e)
+    [
+      ("fft256", Kernels.fft_n ~n:256);
+      ("dct32", Kernels.dct_n ~n:32);
+      ("conv32", Kernels.conv_n ~taps:8 ~points:32);
+      ("aes4", Kernels.aes_round_n ~blocks:4);
+    ]
+
+let test_parametric_deterministic () =
+  (* Integer surrogate coefficients only: the same size always rebuilds
+     the same DFG, so schedules and bindings replay exactly. *)
+  let fingerprint dfg =
+    ( Dfg.op_count dfg,
+      Dfg.critical_path_length dfg,
+      List.length (Dfg.ops_of_kind dfg Dfg.Add),
+      List.length (Dfg.ops_of_kind dfg Dfg.Mul) )
+  in
+  List.iter
+    (fun (name, build) ->
+      Alcotest.(check bool) (name ^ " deterministic") true
+        (fingerprint (build ()) = fingerprint (build ())))
+    [
+      ("fft256", fun () -> Kernels.fft_n ~n:256);
+      ("dct32", fun () -> Kernels.dct_n ~n:32);
+      ("conv32", fun () -> Kernels.conv_n ~taps:8 ~points:32);
+      ("aes4", fun () -> Kernels.aes_round_n ~blocks:4);
+    ]
+
+let test_parametric_schedulable () =
+  let b = Benchmark.parametric "fft" ~n:256 in
+  let s =
+    Benchmark.schedule ~limits:{ Rb_sched.Scheduler.adders = 8; multipliers = 8 } b
+  in
+  Alcotest.(check bool) "fft256 causal" true (Result.is_ok (Schedule.validate s));
+  Alcotest.(check bool) "fft256 <=8 adders" true (Schedule.max_concurrency s Dfg.Add <= 8);
+  Alcotest.(check bool) "fft256 <=8 mults" true (Schedule.max_concurrency s Dfg.Mul <= 8)
+
+let test_parametric_registry () =
+  let b = Benchmark.parametric "aes" ~n:8 in
+  Alcotest.(check string) "derived name" "aes8" b.Benchmark.name;
+  Alcotest.(check int) "aes8 ops" 1024 (Dfg.op_count b.Benchmark.dfg);
+  (match Benchmark.parametric "nope" ~n:64 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "unknown family accepted");
+  (* Parametric names stay out of the fixed Fig. 4 registry. *)
+  Alcotest.(check bool) "not in registry" true
+    (not (List.mem "fft256" (Benchmark.names ())))
+
+let test_parametric_rejects_bad_sizes () =
+  let invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : Dfg.t) -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  invalid "fft not pow2" (fun () -> Kernels.fft_n ~n:100);
+  invalid "fft too small" (fun () -> Kernels.fft_n ~n:4);
+  invalid "dct not pow2" (fun () -> Kernels.dct_n ~n:33);
+  invalid "conv one tap" (fun () -> Kernels.conv_n ~taps:1 ~points:64);
+  invalid "conv no points" (fun () -> Kernels.conv_n ~taps:8 ~points:0);
+  invalid "aes no blocks" (fun () -> Kernels.aes_round_n ~blocks:0)
+
 let () =
   Alcotest.run "rb_workload"
     [
@@ -155,5 +244,14 @@ let () =
           Alcotest.test_case "heavy tails" `Quick test_workloads_are_heavy_tailed;
           Alcotest.test_case "candidate lists" `Quick test_candidate_lists_fill_up;
           Alcotest.test_case "length override" `Quick test_trace_length_override;
+        ] );
+      ( "parametric",
+        [
+          Alcotest.test_case "op counts" `Quick test_parametric_sizes;
+          Alcotest.test_case "validate" `Quick test_parametric_validate;
+          Alcotest.test_case "deterministic" `Quick test_parametric_deterministic;
+          Alcotest.test_case "schedulable" `Quick test_parametric_schedulable;
+          Alcotest.test_case "registry" `Quick test_parametric_registry;
+          Alcotest.test_case "bad sizes" `Quick test_parametric_rejects_bad_sizes;
         ] );
     ]
